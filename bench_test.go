@@ -1,0 +1,382 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation section plus micro-benchmarks for the heavy substrates. Each
+// figure benchmark runs the corresponding experiment end to end at a
+// reduced scale and reports the headline quantities of that figure as
+// custom benchmark metrics (accuracy ×1000, AUC ×1000, savings in %), so
+// `go test -bench=.` regenerates the paper's artifacts in one pass.
+//
+// Paper-scale runs are available through cmd/lumos-bench with larger
+// -fbscale/-lfscale/-epochs.
+package lumos_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lumos"
+	"lumos/internal/autodiff"
+	"lumos/internal/balance"
+	"lumos/internal/eval"
+	"lumos/internal/fed"
+	"lumos/internal/graph"
+	"lumos/internal/ldp"
+	"lumos/internal/nn"
+	"lumos/internal/smc"
+	"lumos/internal/tensor"
+	"lumos/internal/tree"
+)
+
+// benchOpts are the reduced-scale experiment settings used by the figure
+// benchmarks (a few hundred devices, short training).
+func benchOpts() eval.Options {
+	return eval.Options{
+		FacebookScale:  0.012,
+		LastFMScale:    0.04,
+		Epochs:         12,
+		MCMCIterations: 60,
+		Backbones:      []nn.Backbone{nn.GCN},
+		Datasets:       []string{eval.DatasetFacebook},
+		Seed:           42,
+	}
+}
+
+// BenchmarkFig3SupervisedAccuracy regenerates Fig. 3 (label classification
+// accuracy: Lumos vs Centralized vs LPGNN vs Naive FedGNN).
+func BenchmarkFig3SupervisedAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := eval.RunFig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rs[0]
+		b.ReportMetric(1000*r.Lumos, "lumos_acc‰")
+		b.ReportMetric(1000*r.Centralized, "central_acc‰")
+		b.ReportMetric(1000*r.LPGNN, "lpgnn_acc‰")
+		b.ReportMetric(1000*r.NaiveFed, "naive_acc‰")
+	}
+}
+
+// BenchmarkFig4LinkPredictionAUC regenerates Fig. 4 (ROC-AUC: Lumos vs
+// Centralized vs Naive FedGNN).
+func BenchmarkFig4LinkPredictionAUC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := eval.RunFig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rs[0]
+		b.ReportMetric(1000*r.Lumos, "lumos_auc‰")
+		b.ReportMetric(1000*r.Centralized, "central_auc‰")
+		b.ReportMetric(1000*r.NaiveFed, "naive_auc‰")
+	}
+}
+
+// BenchmarkFig5EpsilonSensitivity regenerates Fig. 5 (accuracy/AUC across
+// ε ∈ {0.5, 1, 2, 4}); reports the two curve endpoints.
+func BenchmarkFig5EpsilonSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := eval.RunFig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := rs[0], rs[len(rs)-1]
+		b.ReportMetric(1000*lo.Accuracy, "acc_eps0.5‰")
+		b.ReportMetric(1000*hi.Accuracy, "acc_eps4‰")
+		b.ReportMetric(1000*lo.AUC, "auc_eps0.5‰")
+		b.ReportMetric(1000*hi.AUC, "auc_eps4‰")
+	}
+}
+
+// BenchmarkFig6Ablation regenerates Fig. 6 (Lumos vs w.o. virtual nodes vs
+// w.o. tree trimming).
+func BenchmarkFig6Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := eval.RunFig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rs[0]
+		b.ReportMetric(1000*r.Acc, "acc‰")
+		b.ReportMetric(1000*r.AccNoVN, "acc_woVN‰")
+		b.ReportMetric(1000*r.AccNoTT, "acc_woTT‰")
+	}
+}
+
+// BenchmarkFig7WorkloadBalance regenerates Fig. 7 (workload CDF with and
+// without tree trimming); reports the tail statistics.
+func BenchmarkFig7WorkloadBalance(b *testing.B) {
+	opts := benchOpts()
+	opts.FacebookScale = 0.03 // balancing alone is cheap; use more devices
+	for i := 0; i < b.N; i++ {
+		rs, err := eval.RunFig7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rs[0]
+		b.ReportMetric(float64(r.TrimmedMax), "max_workload")
+		b.ReportMetric(float64(r.RawMax), "max_degree")
+		b.ReportMetric(float64(r.TrimmedP99), "p99_workload")
+		b.ReportMetric(float64(r.RawP99), "p99_degree")
+	}
+}
+
+// BenchmarkFig8SystemCost regenerates Fig. 8 (communication rounds and
+// epoch time with vs without tree trimming).
+func BenchmarkFig8SystemCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := eval.RunFig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup := rs[0]
+		b.ReportMetric(sup.CommTrimmed, "comm_rounds_TT")
+		b.ReportMetric(sup.CommRaw, "comm_rounds_woTT")
+		b.ReportMetric(100*sup.CommSavings, "comm_saved_%")
+		b.ReportMetric(100*sup.TimeSavings, "time_saved_%")
+	}
+}
+
+// BenchmarkHeadlineClaims regenerates the §I claims (accuracy increase vs
+// the federated baseline; communication and training-time reductions).
+func BenchmarkHeadlineClaims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, _, _, err := eval.RunHeadline(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*h.AccuracyIncrease, "acc_increase_%")
+		b.ReportMetric(100*h.CommReduction, "comm_reduction_%")
+		b.ReportMetric(100*h.TimeReduction, "time_reduction_%")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks
+// ---------------------------------------------------------------------------
+
+// BenchmarkSecureCompare measures one OT-based 32-bit secure comparison.
+func BenchmarkSecureCompare(b *testing.B) {
+	stats := &smc.Stats{}
+	p := smc.NewProtocol(32, stats)
+	alice, bob := smc.NewParty(1), smc.NewParty(2)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Less(alice, uint64(rng.Intn(1<<20)), bob, uint64(rng.Intn(1<<20)))
+	}
+}
+
+// BenchmarkGreedyInit measures Alg. 1 over a mid-sized power-law graph.
+func BenchmarkGreedyInit(b *testing.B) {
+	g, err := graph.FacebookLike(0.03, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices := fed.NewDevices(g, 1)
+	server := fed.NewServer(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := balance.Balance(g, devices, server, balance.Config{Iterations: 0, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCMCBalance measures the full tree-trimming pipeline (greedy +
+// 100 MCMC iterations, plaintext comparisons).
+func BenchmarkMCMCBalance(b *testing.B) {
+	g, err := graph.FacebookLike(0.03, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices := fed.NewDevices(g, 1)
+	server := fed.NewServer(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := balance.Balance(g, devices, server, balance.Config{Iterations: 100, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.MaxWorkload()), "max_workload")
+		}
+	}
+}
+
+// BenchmarkMCMCBalanceSecure is the same pipeline with real OT-based
+// comparisons, quantifying the cryptographic overhead.
+func BenchmarkMCMCBalanceSecure(b *testing.B) {
+	g, err := graph.FacebookLike(0.015, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices := fed.NewDevices(g, 1)
+	server := fed.NewServer(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := balance.Balance(g, devices, server, balance.Config{Iterations: 50, Secure: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeConstruction measures building every device's tree.
+func BenchmarkTreeConstruction(b *testing.B) {
+	g, err := graph.FacebookLike(0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N; v++ {
+			tree.Build(v, g.Adj[v])
+		}
+	}
+}
+
+// BenchmarkLDPFeatureEncode measures one device's embedding initialization
+// (encode + per-recipient recovery).
+func BenchmarkLDPFeatureEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	enc := ldp.FeatureEncoder{Epsilon: 2, A: 0, B: 1, Workload: 12, Dim: 512}
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts, err := enc.Encode(x, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := enc.Recover(parts[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestEpochGCN measures one supervised forward+backward+step
+// over the assembled forest (the per-epoch cost of the Lumos trainer).
+func BenchmarkForestEpochGCN(b *testing.B) {
+	benchForestEpoch(b, lumos.GCN)
+}
+
+// BenchmarkForestEpochGAT is the GAT counterpart.
+func BenchmarkForestEpochGAT(b *testing.B) {
+	benchForestEpoch(b, lumos.GAT)
+}
+
+func benchForestEpoch(b *testing.B, bb lumos.Backbone) {
+	g, err := graph.FacebookLike(0.012, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := lumos.NewSystem(g, g, lumos.Config{
+		Task: lumos.Supervised, Backbone: bb, Epochs: 1, MCMCIterations: 30, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.TrainSupervised(split); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationGreedyVsMCMC quantifies what the MCMC phase adds on top
+// of the greedy initialization (max-workload objective, Fig. 7's driver).
+func BenchmarkAblationGreedyVsMCMC(b *testing.B) {
+	g, err := graph.FacebookLike(0.03, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices := fed.NewDevices(g, 1)
+	server := fed.NewServer(1)
+	for i := 0; i < b.N; i++ {
+		greedy, err := balance.Balance(g, devices, server, balance.Config{Iterations: 0, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mcmc, err := balance.Balance(g, devices, server, balance.Config{Iterations: 200, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(g.MaxDegree()), "max_untrimmed")
+		b.ReportMetric(float64(greedy.MaxWorkload()), "max_greedy")
+		b.ReportMetric(float64(mcmc.MaxWorkload()), "max_mcmc")
+	}
+}
+
+// BenchmarkAblationRowNorm quantifies the leaf-feature row normalization
+// (DESIGN.md deviation 4): supervised accuracy with and without it.
+func BenchmarkAblationRowNorm(b *testing.B) {
+	g, err := graph.FacebookLike(0.012, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(disable bool) float64 {
+		sys, err := lumos.NewSystem(g, g, lumos.Config{
+			Task: lumos.Supervised, Backbone: lumos.GCN,
+			Epochs: 15, MCMCIterations: 40, DisableRowNorm: disable, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.TrainSupervised(split); err != nil {
+			b.Fatal(err)
+		}
+		acc, err := sys.EvaluateAccuracy(split.IsTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return acc
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(1000*run(false), "acc_rownorm‰")
+		b.ReportMetric(1000*run(true), "acc_raw‰")
+	}
+}
+
+// BenchmarkMatMul measures the dense kernel at a typical layer size.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.Uniform(4096, 128, -1, 1, rng)
+	w := tensor.Uniform(128, 16, -1, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, w)
+	}
+}
+
+// BenchmarkBackwardGCNLayer measures autodiff through one graph conv.
+func BenchmarkBackwardGCNLayer(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := graph.FacebookLike(0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv := nn.NewConvGraph(g.N, g.Edges)
+	layer := nn.NewGCNConv("l", 64, 16, rng)
+	x := autodiff.Const(tensor.Uniform(g.N, 64, -1, 1, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := layer.Forward(conv, x)
+		loss := autodiff.SumSquares(out)
+		nn.ZeroGrad(layer)
+		loss.Backward()
+	}
+}

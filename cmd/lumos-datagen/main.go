@@ -1,0 +1,83 @@
+// Command lumos-datagen generates, inspects, and stores the synthetic
+// datasets that stand in for the paper's Facebook page-page and LastFM Asia
+// crawls.
+//
+// Usage:
+//
+//	lumos-datagen -dataset facebook -scale 0.1             # stats only
+//	lumos-datagen -dataset lastfm -out lastfm.bin          # save to disk
+//	lumos-datagen -in lastfm.bin                           # inspect a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lumos/internal/graph"
+	"lumos/internal/metrics"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "facebook", "facebook|lastfm")
+		scale   = flag.Float64("scale", 0.1, "preset scale (0,1]")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "write the dataset to this file")
+		in      = flag.String("in", "", "inspect an existing dataset file instead of generating")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *in != "":
+		f, ferr := os.Open(*in)
+		check(ferr)
+		g, err = graph.Read(f)
+		f.Close()
+	case *dataset == "facebook" || *dataset == "fb":
+		g, err = graph.FacebookLike(*scale, *seed)
+	case *dataset == "lastfm" || *dataset == "lf":
+		g, err = graph.LastFMLike(*scale, *seed)
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+	check(err)
+
+	st := g.ComputeStats()
+	fmt.Printf("name:          %s\n", g.Name)
+	fmt.Printf("vertices:      %d\n", st.N)
+	fmt.Printf("edges:         %d\n", st.M)
+	fmt.Printf("avg degree:    %.2f\n", st.AvgDeg)
+	fmt.Printf("max degree:    %d\n", st.MaxDeg)
+	fmt.Printf("degree gini:   %.3f\n", st.DegreeGini)
+	fmt.Printf("top-1%% degree: %.1f%% of all edges\n", 100*st.Top1PctDegreeMass)
+	fmt.Printf("features:      %d\n", st.FeatureDim)
+	fmt.Printf("classes:       %d\n", st.Classes)
+
+	cdf := metrics.NewCDF(g.Degrees())
+	fmt.Printf("degree quantiles: p50=%d p90=%d p99=%d max=%d\n",
+		cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Quantile(0.99), cdf.Max())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		check(g.Write(f))
+		check(f.Close())
+		fi, err := os.Stat(*out)
+		check(err)
+		fmt.Printf("wrote %s (%d bytes)\n", *out, fi.Size())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lumos-datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command lumos-train trains one Lumos configuration end to end and prints
+// the learning curve, evaluation metric, and system-cost statistics.
+//
+// Usage:
+//
+//	lumos-train -dataset facebook -scale 0.02 -backbone gcn -epochs 60
+//	lumos-train -dataset lastfm -task unsupervised -eps 4
+//	lumos-train -dataset facebook -save model.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"lumos/internal/core"
+	"lumos/internal/graph"
+	"lumos/internal/nn"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
+		scale    = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
+		task     = flag.String("task", "supervised", "supervised|unsupervised")
+		backbone = flag.String("backbone", "gcn", "gcn|gat")
+		epochs   = flag.Int("epochs", 60, "training epochs")
+		eps      = flag.Float64("eps", 2, "privacy budget epsilon")
+		mcmc     = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
+		secure   = flag.Bool("secure", false, "run real OT-based secure comparisons")
+		noVN     = flag.Bool("no-virtual-nodes", false, "ablation: disable virtual nodes")
+		noTT     = flag.Bool("no-tree-trimming", false, "ablation: disable tree trimming")
+		seed     = flag.Int64("seed", 7, "run seed")
+		save     = flag.String("save", "", "write trained model parameters to this file")
+	)
+	flag.Parse()
+
+	g, err := loadDataset(*dataset, *scale, *seed)
+	check(err)
+	st := g.ComputeStats()
+	fmt.Printf("dataset %s: N=%d M=%d avgdeg=%.1f maxdeg=%d classes=%d features=%d\n",
+		g.Name, st.N, st.M, st.AvgDeg, st.MaxDeg, st.Classes, st.FeatureDim)
+
+	cfg := core.Config{
+		Epsilon: *eps, Epochs: *epochs, MCMCIterations: *mcmc,
+		SecureCompare: *secure, DisableVirtualNodes: *noVN, DisableTreeTrimming: *noTT,
+		Seed: *seed,
+	}
+	switch strings.ToLower(*backbone) {
+	case "gcn":
+		cfg.Backbone = nn.GCN
+	case "gat":
+		cfg.Backbone = nn.GAT
+	default:
+		fatalf("unknown backbone %q", *backbone)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	switch strings.ToLower(*task) {
+	case "supervised":
+		cfg.Task = core.Supervised
+		split, err := graph.SplitNodes(g, 0.5, 0.25, rng)
+		check(err)
+		sys, err := core.NewSystem(g, g, cfg)
+		check(err)
+		fmt.Printf("trees: max workload %d (untrimmed max degree %d), secure comparisons %d\n",
+			sys.Balanced.MaxWorkload(), st.MaxDeg, sys.Balanced.SMC.Comparisons)
+		stats, err := sys.TrainSupervised(split)
+		check(err)
+		acc, err := sys.EvaluateAccuracy(split.IsTest)
+		check(err)
+		printStats(stats, *epochs)
+		fmt.Printf("test accuracy: %.4f\n", acc)
+		maybeSave(*save, sys)
+	case "unsupervised":
+		cfg.Task = core.Unsupervised
+		es, err := graph.SplitEdges(g, 0.8, 0.05, rng)
+		check(err)
+		sys, err := core.NewSystem(es.TrainGraph, g, cfg)
+		check(err)
+		fmt.Printf("trees: max workload %d (untrimmed max degree %d)\n",
+			sys.Balanced.MaxWorkload(), st.MaxDeg)
+		stats, err := sys.TrainUnsupervised(es)
+		check(err)
+		auc, err := sys.EvaluateAUC(es.Test, es.TestNeg)
+		check(err)
+		printStats(stats, *epochs)
+		fmt.Printf("test ROC-AUC: %.4f\n", auc)
+		maybeSave(*save, sys)
+	default:
+		fatalf("unknown task %q", *task)
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func loadDataset(name string, scale float64, seed int64) (*graph.Graph, error) {
+	switch {
+	case name == "facebook" || name == "fb":
+		return graph.FacebookLike(scale, seed)
+	case name == "lastfm" || name == "lf":
+		return graph.LastFMLike(scale, seed)
+	case strings.HasPrefix(name, "file:"):
+		f, err := os.Open(strings.TrimPrefix(name, "file:"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func printStats(stats *core.TrainStats, epochs int) {
+	n := len(stats.Losses)
+	fmt.Printf("loss: %.4f -> %.4f over %d epochs\n", stats.Losses[0], stats.Losses[n-1], n)
+	fmt.Printf("avg comm rounds per device per epoch: %.1f\n", stats.AvgCommRoundsPerDevice)
+	fmt.Printf("estimated epoch time (straggler model): %v\n", stats.SimEpochTime.Round(time.Microsecond))
+	fmt.Printf("measured training time: %v (%v/epoch)\n",
+		stats.MeasuredTime.Round(time.Millisecond),
+		(stats.MeasuredTime / time.Duration(epochs)).Round(time.Microsecond))
+}
+
+func maybeSave(path string, sys *core.System) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	check(err)
+	defer f.Close()
+	check(nn.SaveParams(f, sys))
+	fmt.Printf("saved model parameters to %s\n", path)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lumos-train: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Secure degree comparison walkthrough: the cryptographic building block of
+// Lumos's tree constructor, demonstrated standalone. Two devices compare
+// their (private) node degrees through the OT-based secret-shared
+// comparator; both learn only the single comparison bit, never the values
+// (paper Definition 2 and §V-C). The demo also prices the protocol — OTs,
+// messages, bytes — which is exactly what Lumos pays per comparison during
+// greedy initialization and every MCMC iteration.
+package main
+
+import (
+	"fmt"
+
+	"lumos/internal/smc"
+)
+
+func main() {
+	stats := &smc.Stats{}
+	proto := smc.NewProtocol(32, stats)
+
+	// Two devices with private degrees. In the full system these come from
+	// each device's ego network; here they are just local values.
+	alice := smc.NewParty(101)
+	bob := smc.NewParty(202)
+	degA, degB := uint64(147), uint64(23)
+
+	less := proto.Less(alice, degA, bob, degB)
+	fmt.Printf("deg(alice) < deg(bob)?  %v\n", less)
+	fmt.Printf("protocol cost: %d OTs, %d messages, %d bytes\n",
+		stats.OTs, stats.Messages, stats.Bytes)
+
+	// The greedy initialization (Alg. 1) compares rounded log-degrees both
+	// ways; ties keep the edge in both trees.
+	aKeeps := proto.LessOrEqual(alice, 5, bob, 3) // round(ln 147)=5, round(ln 23)=3
+	bKeeps := proto.LessOrEqual(bob, 3, alice, 5)
+	fmt.Printf("alice retains bob: %v   bob retains alice: %v\n", aKeeps, bKeeps)
+
+	// The Metropolis-Hastings accept step is a single secure comparison on
+	// fixed-point operands: accept iff ln U < f(X) − f(X'). Only the accept
+	// bit is revealed — less than revealing the difference itself.
+	accepts := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		u := 1 - float64(i)/trials // deterministic sweep over (0,1]
+		if proto.AcceptMH(alice, 10 /* f(X) */, bob, 11 /* f(X') */, u) {
+			accepts++
+		}
+	}
+	fmt.Printf("MH accept rate for a +1-workload proposal: %.3f (theory e^-1 = 0.368)\n",
+		float64(accepts)/trials)
+
+	fmt.Printf("total secure traffic this demo: %d comparisons, %d OTs, %.1f KiB\n",
+		stats.Comparisons, stats.OTs, float64(stats.Bytes)/1024)
+}

@@ -1,0 +1,376 @@
+// Package autodiff implements reverse-mode automatic differentiation over
+// dense matrices. It is the numerical core of the GNN trainers: every layer
+// (GCN, GAT, linear heads, the tree message passing, POOL) is expressed in
+// terms of the differentiable operations defined here.
+//
+// The design is graph-based rather than tape-based: each Value records its
+// parents and a backward closure, and Backward performs a depth-first
+// topological sort from the loss node. Parameters are long-lived Values
+// (created with Var); intermediates from past epochs become unreachable and
+// are garbage collected, so one parameter set can be reused across an
+// arbitrary number of forward/backward passes.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lumos/internal/tensor"
+)
+
+// Value is one node in the differentiation graph: a matrix plus, after
+// Backward, the gradient of the loss with respect to it.
+type Value struct {
+	// Data holds the forward result.
+	Data *tensor.Matrix
+	// Grad holds dLoss/dData after Backward; nil if no gradient flowed here.
+	Grad *tensor.Matrix
+
+	requiresGrad bool
+	parents      []*Value
+	backFn       func()
+}
+
+// Var wraps a matrix as a trainable leaf (gradients are accumulated).
+func Var(m *tensor.Matrix) *Value {
+	return &Value{Data: m, requiresGrad: true}
+}
+
+// Const wraps a matrix as a non-trainable leaf (no gradient is stored).
+func Const(m *tensor.Matrix) *Value {
+	return &Value{Data: m}
+}
+
+// RequiresGrad reports whether the value participates in differentiation.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// ZeroGrad discards the stored gradient.
+func (v *Value) ZeroGrad() { v.Grad = nil }
+
+// Rows returns the row count of the underlying matrix.
+func (v *Value) Rows() int { return v.Data.Rows() }
+
+// Cols returns the column count of the underlying matrix.
+func (v *Value) Cols() int { return v.Data.Cols() }
+
+// Scalar returns the single entry of a 1×1 value.
+func (v *Value) Scalar() float64 {
+	if v.Data.Rows() != 1 || v.Data.Cols() != 1 {
+		panic(fmt.Sprintf("autodiff: Scalar on %dx%d value", v.Data.Rows(), v.Data.Cols()))
+	}
+	return v.Data.At(0, 0)
+}
+
+// accum adds g into the gradient buffer, allocating it on first use.
+func (v *Value) accum(g *tensor.Matrix) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Rows(), v.Data.Cols())
+	}
+	tensor.AddInPlace(v.Grad, g)
+}
+
+// node builds an op result whose requiresGrad is inherited from parents.
+// backFn is only retained when some parent needs a gradient.
+func node(data *tensor.Matrix, backFn func(), parents ...*Value) *Value {
+	out := &Value{Data: data}
+	for _, p := range parents {
+		if p.requiresGrad {
+			out.requiresGrad = true
+			break
+		}
+	}
+	if out.requiresGrad {
+		out.parents = parents
+		out.backFn = backFn
+	}
+	return out
+}
+
+// Backward computes gradients of the receiver (a 1×1 scalar, typically a
+// loss) with respect to every reachable Var, accumulating into their Grad.
+func (v *Value) Backward() {
+	if v.Data.Rows() != 1 || v.Data.Cols() != 1 {
+		panic(fmt.Sprintf("autodiff: Backward on non-scalar %dx%d value", v.Data.Rows(), v.Data.Cols()))
+	}
+	order := topoSort(v)
+	if v.Grad == nil {
+		v.Grad = tensor.New(1, 1)
+	}
+	v.Grad.Set(0, 0, v.Grad.At(0, 0)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.Grad != nil && n.backFn != nil {
+			n.backFn()
+		}
+	}
+}
+
+// topoSort returns the reachable gradient-requiring subgraph in topological
+// order (parents before children), iteratively to avoid deep recursion on
+// large graphs.
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	visited := make(map[*Value]bool)
+	type frame struct {
+		v    *Value
+		next int
+	}
+	stack := []frame{{v: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.v.parents) {
+			p := f.v.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{v: p})
+			}
+			continue
+		}
+		order = append(order, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra ops
+// ---------------------------------------------------------------------------
+
+// MatMul returns a·b.
+func MatMul(a, b *Value) *Value {
+	data := tensor.MatMul(a.Data, b.Data)
+	out := node(data, nil, a, b)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := out.Grad
+			if a.requiresGrad {
+				a.accum(tensor.MatMul(g, tensor.Transpose(b.Data)))
+			}
+			if b.requiresGrad {
+				b.accum(tensor.MatMul(tensor.Transpose(a.Data), g))
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Value) *Value {
+	data := tensor.Add(a.Data, b.Data)
+	out := node(data, nil, a, b)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.accum(out.Grad)
+			b.accum(out.Grad)
+		}
+	}
+	return out
+}
+
+// Sub returns a − b (same shape).
+func Sub(a, b *Value) *Value {
+	data := tensor.Sub(a.Data, b.Data)
+	out := node(data, nil, a, b)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.accum(out.Grad)
+			if b.requiresGrad {
+				b.accum(tensor.Scale(out.Grad, -1))
+			}
+		}
+	}
+	return out
+}
+
+// AddRow adds the 1×c row vector v to every row of a.
+func AddRow(a, v *Value) *Value {
+	data := tensor.AddRowVector(a.Data, v.Data)
+	out := node(data, nil, a, v)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.accum(out.Grad)
+			if v.requiresGrad {
+				v.accum(tensor.SumRows(out.Grad))
+			}
+		}
+	}
+	return out
+}
+
+// MulElem returns the elementwise product a ⊙ b.
+func MulElem(a, b *Value) *Value {
+	data := tensor.MulElem(a.Data, b.Data)
+	out := node(data, nil, a, b)
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.accum(tensor.MulElem(out.Grad, b.Data))
+			}
+			if b.requiresGrad {
+				b.accum(tensor.MulElem(out.Grad, a.Data))
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns s·a for a constant s.
+func Scale(a *Value, s float64) *Value {
+	data := tensor.Scale(a.Data, s)
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.accum(tensor.Scale(out.Grad, s))
+		}
+	}
+	return out
+}
+
+// AddN sums any number of same-shape values.
+func AddN(vs ...*Value) *Value {
+	if len(vs) == 0 {
+		panic("autodiff: AddN of nothing")
+	}
+	data := vs[0].Data.Clone()
+	for _, v := range vs[1:] {
+		tensor.AddInPlace(data, v.Data)
+	}
+	out := node(data, nil, vs...)
+	if out.requiresGrad {
+		out.backFn = func() {
+			for _, v := range vs {
+				v.accum(out.Grad)
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Activations and regularization
+// ---------------------------------------------------------------------------
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Value) *Value {
+	data := tensor.Apply(a.Data, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := tensor.New(a.Data.Rows(), a.Data.Cols())
+			ad, gd, od := a.Data.Data(), g.Data(), out.Grad.Data()
+			for i := range ad {
+				if ad[i] > 0 {
+					gd[i] = od[i]
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return out
+}
+
+// LeakyReLU returns x for x>0 and slope·x otherwise, elementwise.
+func LeakyReLU(a *Value, slope float64) *Value {
+	data := tensor.Apply(a.Data, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return slope * x
+	})
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := tensor.New(a.Data.Rows(), a.Data.Cols())
+			ad, gd, od := a.Data.Data(), g.Data(), out.Grad.Data()
+			for i := range ad {
+				if ad[i] > 0 {
+					gd[i] = od[i]
+				} else {
+					gd[i] = slope * od[i]
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^{−a}) elementwise.
+func Sigmoid(a *Value) *Value {
+	data := tensor.Apply(a.Data, sigmoid)
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := tensor.New(a.Data.Rows(), a.Data.Cols())
+			sd, gd, od := out.Data.Data(), g.Data(), out.Grad.Data()
+			for i := range sd {
+				gd[i] = od[i] * sd[i] * (1 - sd[i])
+			}
+			a.accum(g)
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Value) *Value {
+	data := tensor.Apply(a.Data, math.Tanh)
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := tensor.New(a.Data.Rows(), a.Data.Cols())
+			td, gd, od := out.Data.Data(), g.Data(), out.Grad.Data()
+			for i := range td {
+				gd[i] = od[i] * (1 - td[i]*td[i])
+			}
+			a.accum(g)
+		}
+	}
+	return out
+}
+
+// Dropout zeroes entries with probability p and rescales survivors by
+// 1/(1−p) when training is true; it is the identity otherwise.
+func Dropout(a *Value, p float64, rng *rand.Rand, training bool) *Value {
+	if !training || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("autodiff: Dropout probability must be < 1")
+	}
+	keep := 1 / (1 - p)
+	mask := tensor.New(a.Data.Rows(), a.Data.Cols())
+	md := mask.Data()
+	for i := range md {
+		if rng.Float64() >= p {
+			md[i] = keep
+		}
+	}
+	data := tensor.MulElem(a.Data, mask)
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.accum(tensor.MulElem(out.Grad, mask))
+		}
+	}
+	return out
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

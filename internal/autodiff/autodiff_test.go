@@ -1,0 +1,288 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lumos/internal/tensor"
+)
+
+// gradCheck verifies the analytic gradient of scalar = f(params...) against
+// central finite differences for every entry of every parameter.
+func gradCheck(t *testing.T, name string, params []*Value, f func() *Value) {
+	t.Helper()
+	const h = 1e-5
+	const tol = 1e-4
+	loss := f()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	loss.Backward()
+	for pi, p := range params {
+		if p.Grad == nil {
+			t.Fatalf("%s: param %d received no gradient", name, pi)
+		}
+		data := p.Data.Data()
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + h
+			up := f().Scalar()
+			data[i] = orig - h
+			down := f().Scalar()
+			data[i] = orig
+			numeric := (up - down) / (2 * h)
+			analytic := p.Grad.Data()[i]
+			if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("%s: param %d entry %d: analytic %g vs numeric %g",
+					name, pi, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func randVar(r, c int, rng *rand.Rand) *Value {
+	return Var(tensor.Uniform(r, c, -1, 1, rng))
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := randVar(3, 4, rng), randVar(4, 2, rng)
+	gradCheck(t, "matmul", []*Value{a, b}, func() *Value {
+		return SumAll(MatMul(a, b))
+	})
+}
+
+func TestGradAddSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randVar(2, 3, rng), randVar(2, 3, rng)
+	gradCheck(t, "add/sub", []*Value{a, b}, func() *Value {
+		return SumAll(MulElem(Add(a, b), Sub(a, b)))
+	})
+}
+
+func TestGradAddRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, v := randVar(4, 3, rng), randVar(1, 3, rng)
+	gradCheck(t, "addrow", []*Value{a, v}, func() *Value {
+		return SumSquares(AddRow(a, v))
+	})
+}
+
+func TestGradScaleAddN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b, c := randVar(2, 2, rng), randVar(2, 2, rng), randVar(2, 2, rng)
+	gradCheck(t, "scale/addn", []*Value{a, b, c}, func() *Value {
+		return SumSquares(AddN(Scale(a, 2.5), b, Scale(c, -0.5)))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		name string
+		fn   func(*Value) *Value
+	}{
+		{"relu", ReLU},
+		{"leakyrelu", func(v *Value) *Value { return LeakyReLU(v, 0.2) }},
+		{"sigmoid", Sigmoid},
+		{"tanh", Tanh},
+	} {
+		// Offset values away from the ReLU kink so finite differences are
+		// well-defined.
+		a := Var(tensor.Apply(tensor.Uniform(3, 3, -1, 1, rng), func(x float64) float64 {
+			if math.Abs(x) < 0.05 {
+				return x + 0.1
+			}
+			return x
+		}))
+		gradCheck(t, tc.name, []*Value{a}, func() *Value {
+			return SumSquares(tc.fn(a))
+		})
+	}
+}
+
+func TestGradGatherSegmentSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randVar(5, 3, rng)
+	idx := []int{0, 2, 2, 4, 1, 0}
+	seg := []int{0, 1, 0, 2, 2, 1}
+	gradCheck(t, "gather/segmentsum", []*Value{a}, func() *Value {
+		return SumSquares(SegmentSum(Gather(a, idx), seg, 3))
+	})
+}
+
+func TestGradScaleRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randVar(4, 2, rng)
+	coef := []float64{0.5, -1, 2, 0.25}
+	gradCheck(t, "scalerows", []*Value{a}, func() *Value {
+		return SumSquares(ScaleRows(a, coef))
+	})
+}
+
+func TestGradMulRowsByCol(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, s := randVar(4, 3, rng), randVar(4, 1, rng)
+	gradCheck(t, "mulrowsbycol", []*Value{a, s}, func() *Value {
+		return SumSquares(MulRowsByCol(a, s))
+	})
+}
+
+func TestGradSegmentSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := randVar(6, 1, rng)
+	seg := []int{0, 0, 1, 1, 1, 2}
+	w := randVar(6, 1, rng) // weight so gradient isn't trivially zero
+	gradCheck(t, "segmentsoftmax", []*Value{e}, func() *Value {
+		return SumAll(MulElem(SegmentSoftmax(e, seg, 3), Const(w.Data)))
+	})
+}
+
+func TestSegmentSoftmaxNormalizes(t *testing.T) {
+	e := Const(tensor.FromRows([][]float64{{100}, {101}, {-5}, {3}, {3}}))
+	out := SegmentSoftmax(e, []int{0, 0, 1, 1, 1}, 2)
+	s0 := out.Data.At(0, 0) + out.Data.At(1, 0)
+	s1 := out.Data.At(2, 0) + out.Data.At(3, 0) + out.Data.At(4, 0)
+	if math.Abs(s0-1) > 1e-12 || math.Abs(s1-1) > 1e-12 {
+		t.Fatalf("segments sum to %v and %v", s0, s1)
+	}
+	if out.Data.At(3, 0) != out.Data.At(4, 0) {
+		t.Fatal("equal scores must share attention")
+	}
+}
+
+func TestGradConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a, b := randVar(3, 2, rng), randVar(3, 4, rng)
+	gradCheck(t, "concatcols", []*Value{a, b}, func() *Value {
+		return SumSquares(ConcatCols(a, b))
+	})
+	c, d := randVar(2, 3, rng), randVar(4, 3, rng)
+	gradCheck(t, "concatrows", []*Value{c, d}, func() *Value {
+		return SumSquares(ConcatRows(c, d))
+	})
+}
+
+func TestGradPairDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randVar(5, 4, rng)
+	idxU := []int{0, 1, 2, 0}
+	idxV := []int{3, 4, 2, 0} // includes self-pair and repeated rows
+	gradCheck(t, "pairdot", []*Value{a}, func() *Value {
+		return SumSquares(PairDot(a, idxU, idxV))
+	})
+}
+
+func TestGradDropoutMask(t *testing.T) {
+	// With a fixed rng state per call the mask changes; instead verify the
+	// identity path and the training-mode scaling property.
+	rng := rand.New(rand.NewSource(12))
+	a := randVar(100, 10, rng)
+	out := Dropout(a, 0.5, rand.New(rand.NewSource(1)), false)
+	if out != a {
+		t.Fatal("eval-mode dropout must be the identity")
+	}
+	tr := Dropout(a, 0.5, rand.New(rand.NewSource(1)), true)
+	// Each surviving entry must be exactly 2× the input.
+	ad, td := a.Data.Data(), tr.Data.Data()
+	kept := 0
+	for i := range ad {
+		if td[i] != 0 {
+			kept++
+			if math.Abs(td[i]-2*ad[i]) > 1e-12 {
+				t.Fatalf("survivor %d not rescaled: %v vs %v", i, td[i], ad[i])
+			}
+		}
+	}
+	if kept < 300 || kept > 700 {
+		t.Fatalf("kept %d of 1000 at p=0.5", kept)
+	}
+	// Gradient flows only through the mask.
+	loss := SumAll(tr)
+	a.ZeroGrad()
+	loss.Backward()
+	for i := range ad {
+		want := 0.0
+		if td[i] != 0 {
+			want = 2
+		}
+		if math.Abs(a.Grad.Data()[i]-want) > 1e-12 {
+			t.Fatalf("dropout grad %d = %v, want %v", i, a.Grad.Data()[i], want)
+		}
+	}
+}
+
+func TestBackwardAccumulatesAcrossUses(t *testing.T) {
+	a := Var(tensor.FromRows([][]float64{{3}}))
+	// loss = a*a → grad 2a = 6
+	loss := SumAll(MulElem(a, a))
+	loss.Backward()
+	if got := a.Grad.At(0, 0); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("grad = %v, want 6", got)
+	}
+}
+
+func TestBackwardTwiceAccumulates(t *testing.T) {
+	a := Var(tensor.FromRows([][]float64{{2}}))
+	SumAll(Scale(a, 3)).Backward()
+	SumAll(Scale(a, 3)).Backward()
+	if got := a.Grad.At(0, 0); got != 6 {
+		t.Fatalf("accumulated grad = %v, want 6", got)
+	}
+	a.ZeroGrad()
+	if a.Grad != nil {
+		t.Fatal("ZeroGrad must clear")
+	}
+}
+
+func TestConstGetsNoGrad(t *testing.T) {
+	c := Const(tensor.FromRows([][]float64{{1, 2}}))
+	v := Var(tensor.FromRows([][]float64{{3, 4}}))
+	SumAll(MulElem(c, v)).Backward()
+	if c.Grad != nil {
+		t.Fatal("constant must not accumulate gradient")
+	}
+	if v.Grad == nil {
+		t.Fatal("variable must accumulate gradient")
+	}
+}
+
+func TestBackwardNonScalarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-scalar Backward")
+		}
+	}()
+	Var(tensor.New(2, 2)).Backward()
+}
+
+func TestScalarAccessor(t *testing.T) {
+	v := Const(tensor.FromRows([][]float64{{42}}))
+	if v.Scalar() != 42 {
+		t.Fatal("Scalar accessor wrong")
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	// The iterative topological sort must handle very deep graphs.
+	v := Var(tensor.FromRows([][]float64{{1}}))
+	cur := v
+	for i := 0; i < 20000; i++ {
+		cur = Scale(cur, 1.0)
+	}
+	SumAll(cur).Backward()
+	if math.Abs(v.Grad.At(0, 0)-1) > 1e-9 {
+		t.Fatalf("deep chain grad = %v", v.Grad.At(0, 0))
+	}
+}
+
+func TestDiamondGraphGradient(t *testing.T) {
+	// loss = (a+a) + (a*a): d/da = 2 + 2a = 8 at a=3.
+	a := Var(tensor.FromRows([][]float64{{3}}))
+	loss := SumAll(Add(Add(a, a), MulElem(a, a)))
+	loss.Backward()
+	if got := a.Grad.At(0, 0); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("diamond grad = %v, want 8", got)
+	}
+}

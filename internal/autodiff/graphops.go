@@ -1,0 +1,259 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"lumos/internal/tensor"
+)
+
+// Graph-structured operations: gather/scatter over rows and per-segment
+// reductions. These are the primitives message passing compiles to: an edge
+// list (src, dst) turns "aggregate neighbor embeddings" into
+// SegmentSum(ScaleRows(Gather(H, src), coef), dst, n).
+
+// Gather returns the matrix whose i-th row is a.Row(idx[i]).
+func Gather(a *Value, idx []int) *Value {
+	data := tensor.Gather(a.Data, idx)
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := tensor.New(a.Data.Rows(), a.Data.Cols())
+			tensor.ScatterAddRows(g, out.Grad, idx)
+			a.accum(g)
+		}
+	}
+	return out
+}
+
+// SegmentSum returns the nseg×c matrix whose row s is the sum of the rows i
+// of a with seg[i] == s.
+func SegmentSum(a *Value, seg []int, nseg int) *Value {
+	if len(seg) != a.Data.Rows() {
+		panic(fmt.Sprintf("autodiff: SegmentSum %d segments for %d rows", len(seg), a.Data.Rows()))
+	}
+	data := tensor.New(nseg, a.Data.Cols())
+	tensor.ScatterAddRows(data, a.Data, seg)
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.accum(tensor.Gather(out.Grad, seg))
+		}
+	}
+	return out
+}
+
+// ScaleRows multiplies row i of a by the constant coef[i].
+func ScaleRows(a *Value, coef []float64) *Value {
+	if len(coef) != a.Data.Rows() {
+		panic(fmt.Sprintf("autodiff: ScaleRows %d coefs for %d rows", len(coef), a.Data.Rows()))
+	}
+	data := tensor.New(a.Data.Rows(), a.Data.Cols())
+	for i := 0; i < a.Data.Rows(); i++ {
+		row, orow := a.Data.Row(i), data.Row(i)
+		for j := range row {
+			orow[j] = coef[i] * row[j]
+		}
+	}
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := tensor.New(a.Data.Rows(), a.Data.Cols())
+			for i := 0; i < g.Rows(); i++ {
+				grow, orow := g.Row(i), out.Grad.Row(i)
+				for j := range grow {
+					grow[j] = coef[i] * orow[j]
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return out
+}
+
+// MulRowsByCol multiplies row i of a (n×c) by s.At(i,0), where s is an n×1
+// differentiable column; used for attention-weighted messages.
+func MulRowsByCol(a, s *Value) *Value {
+	n, c := a.Data.Dims()
+	if s.Data.Rows() != n || s.Data.Cols() != 1 {
+		panic(fmt.Sprintf("autodiff: MulRowsByCol a %dx%d s %dx%d", n, c, s.Data.Rows(), s.Data.Cols()))
+	}
+	data := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		si := s.Data.At(i, 0)
+		row, orow := a.Data.Row(i), data.Row(i)
+		for j := range row {
+			orow[j] = si * row[j]
+		}
+	}
+	out := node(data, nil, a, s)
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				g := tensor.New(n, c)
+				for i := 0; i < n; i++ {
+					si := s.Data.At(i, 0)
+					grow, orow := g.Row(i), out.Grad.Row(i)
+					for j := range grow {
+						grow[j] = si * orow[j]
+					}
+				}
+				a.accum(g)
+			}
+			if s.requiresGrad {
+				g := tensor.New(n, 1)
+				for i := 0; i < n; i++ {
+					arow, orow := a.Data.Row(i), out.Grad.Row(i)
+					d := 0.0
+					for j := range arow {
+						d += arow[j] * orow[j]
+					}
+					g.Set(i, 0, d)
+				}
+				s.accum(g)
+			}
+		}
+	}
+	return out
+}
+
+// SegmentSoftmax normalizes the n×1 column e with a numerically stable
+// softmax within each segment: out_i = exp(e_i−m_s)/Σ_{j∈s} exp(e_j−m_s)
+// for s = seg[i]. Rows whose segment has a single member get 1.
+func SegmentSoftmax(e *Value, seg []int, nseg int) *Value {
+	n := e.Data.Rows()
+	if e.Data.Cols() != 1 {
+		panic(fmt.Sprintf("autodiff: SegmentSoftmax on %dx%d (want n×1)", n, e.Data.Cols()))
+	}
+	if len(seg) != n {
+		panic(fmt.Sprintf("autodiff: SegmentSoftmax %d segments for %d rows", len(seg), n))
+	}
+	maxes := make([]float64, nseg)
+	for i := range maxes {
+		maxes[i] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		if v := e.Data.At(i, 0); v > maxes[seg[i]] {
+			maxes[seg[i]] = v
+		}
+	}
+	sums := make([]float64, nseg)
+	data := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		ex := math.Exp(e.Data.At(i, 0) - maxes[seg[i]])
+		data.Set(i, 0, ex)
+		sums[seg[i]] += ex
+	}
+	for i := 0; i < n; i++ {
+		data.Set(i, 0, data.At(i, 0)/sums[seg[i]])
+	}
+	out := node(data, nil, e)
+	if out.requiresGrad {
+		out.backFn = func() {
+			// dL/de_i = α_i (g_i − Σ_{j∈seg(i)} α_j g_j)
+			dot := make([]float64, nseg)
+			for i := 0; i < n; i++ {
+				dot[seg[i]] += out.Data.At(i, 0) * out.Grad.At(i, 0)
+			}
+			g := tensor.New(n, 1)
+			for i := 0; i < n; i++ {
+				ai := out.Data.At(i, 0)
+				g.Set(i, 0, ai*(out.Grad.At(i, 0)-dot[seg[i]]))
+			}
+			e.accum(g)
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates values horizontally (same row count).
+func ConcatCols(vs ...*Value) *Value {
+	if len(vs) == 0 {
+		panic("autodiff: ConcatCols of nothing")
+	}
+	mats := make([]*tensor.Matrix, len(vs))
+	for i, v := range vs {
+		mats[i] = v.Data
+	}
+	data := tensor.HStack(mats...)
+	out := node(data, nil, vs...)
+	if out.requiresGrad {
+		out.backFn = func() {
+			off := 0
+			for _, v := range vs {
+				c := v.Data.Cols()
+				if v.requiresGrad {
+					g := tensor.New(v.Data.Rows(), c)
+					for i := 0; i < g.Rows(); i++ {
+						copy(g.Row(i), out.Grad.Row(i)[off:off+c])
+					}
+					v.accum(g)
+				}
+				off += c
+			}
+		}
+	}
+	return out
+}
+
+// ConcatRows concatenates values vertically (same column count).
+func ConcatRows(vs ...*Value) *Value {
+	if len(vs) == 0 {
+		panic("autodiff: ConcatRows of nothing")
+	}
+	mats := make([]*tensor.Matrix, len(vs))
+	for i, v := range vs {
+		mats[i] = v.Data
+	}
+	data := tensor.VStack(mats...)
+	out := node(data, nil, vs...)
+	if out.requiresGrad {
+		out.backFn = func() {
+			off := 0
+			for _, v := range vs {
+				r := v.Data.Rows()
+				if v.requiresGrad {
+					g := tensor.New(r, v.Data.Cols())
+					for i := 0; i < r; i++ {
+						copy(g.Row(i), out.Grad.Row(off+i))
+					}
+					v.accum(g)
+				}
+				off += r
+			}
+		}
+	}
+	return out
+}
+
+// PairDot returns the m×1 column whose k-th entry is the dot product of rows
+// idxU[k] and idxV[k] of a. It backs the link-prediction decoder
+// DEC(h_u, h_v) = h_u · h_v.
+func PairDot(a *Value, idxU, idxV []int) *Value {
+	if len(idxU) != len(idxV) {
+		panic(fmt.Sprintf("autodiff: PairDot %d vs %d indices", len(idxU), len(idxV)))
+	}
+	m := len(idxU)
+	data := tensor.New(m, 1)
+	for k := 0; k < m; k++ {
+		data.Set(k, 0, tensor.RowDot(a.Data, idxU[k], a.Data, idxV[k]))
+	}
+	out := node(data, nil, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := tensor.New(a.Data.Rows(), a.Data.Cols())
+			for k := 0; k < m; k++ {
+				gk := out.Grad.At(k, 0)
+				u, v := idxU[k], idxV[k]
+				gu, gv := g.Row(u), g.Row(v)
+				au, av := a.Data.Row(u), a.Data.Row(v)
+				for j := range gu {
+					gu[j] += gk * av[j]
+					gv[j] += gk * au[j]
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return out
+}

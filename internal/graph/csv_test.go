@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListFormats(t *testing.T) {
+	in := "id_1,id_2\n0,1\n1,2\n# comment\n\n2,3\n"
+	n, edges, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(edges) != 3 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+	// Whitespace-separated variant.
+	n2, edges2, err := ReadEdgeList(strings.NewReader("0 5\n5\t2\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 10 || len(edges2) != 2 {
+		t.Fatalf("n=%d edges=%d", n2, len(edges2))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"0,1\nx,y\n",   // garbage past the header position
+		"0,-1\n",       // negative id
+		"justonecol\n", // too few fields
+	}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Fatalf("input %q must error", in)
+		}
+	}
+}
+
+func TestReadLabelsMapsClasses(t *testing.T) {
+	in := "id,target\n0,cat\n1,dog\n2,cat\n"
+	labels, classes, err := ReadLabels(strings.NewReader(in), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes != 2 {
+		t.Fatalf("classes = %d", classes)
+	}
+	if labels[0] != labels[2] || labels[0] == labels[1] {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[3] != 0 {
+		t.Fatal("absent vertex must default to class 0")
+	}
+}
+
+func TestReadLabelsErrors(t *testing.T) {
+	if _, _, err := ReadLabels(strings.NewReader("0,only\n1,only\n"), 2); err == nil {
+		t.Fatal("single class must error")
+	}
+	if _, _, err := ReadLabels(strings.NewReader("9,x\n0,y\n"), 2); err == nil {
+		t.Fatal("out-of-range id must error")
+	}
+}
+
+func TestReadSparseFeatures(t *testing.T) {
+	in := "node_id,feature_id\n0,2\n0,5\n1,0\n"
+	feats, err := ReadSparseFeatures(strings.NewReader(in), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feats.Rows() != 3 || feats.Cols() != 6 {
+		t.Fatalf("features %dx%d", feats.Rows(), feats.Cols())
+	}
+	if feats.At(0, 2) != 1 || feats.At(0, 5) != 1 || feats.At(1, 0) != 1 {
+		t.Fatal("active entries missing")
+	}
+	if feats.At(2, 0) != 0 {
+		t.Fatal("inactive entry set")
+	}
+	if _, err := ReadSparseFeatures(strings.NewReader("5,0\n"), 3, 0); err == nil {
+		t.Fatal("out-of-range id must error")
+	}
+}
+
+func TestLoadCSVDatasetEndToEnd(t *testing.T) {
+	edges := "id_1,id_2\n0,1\n1,2\n2,0\n3,1\n"
+	feats := "node,feat\n0,0\n1,1\n2,0\n3,1\n"
+	labels := "id,target\n0,a\n1,b\n2,a\n3,b\n"
+	g, err := LoadCSVDataset("csvtest",
+		strings.NewReader(edges), strings.NewReader(feats), strings.NewReader(labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.NumEdges() != 4 || g.NumClasses != 2 || g.FeatureDim() != 2 {
+		t.Fatalf("loaded graph: %+v", g.ComputeStats())
+	}
+	if g.Name != "csvtest" {
+		t.Fatal("name not set")
+	}
+	// Structure-only load.
+	g2, err := LoadCSVDataset("bare", strings.NewReader(edges), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Features != nil || g2.Labels != nil {
+		t.Fatal("bare load must have no attributes")
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset presets. Each preset mirrors the headline statistics of one of
+// the paper's datasets and accepts a scale factor so tests and benchmarks
+// can run laptop-sized instances while preserving mean degree, class count,
+// and degree-tail shape. scale = 1 reproduces the full vertex/edge counts.
+//
+//	Facebook page-page: 22,470 vertices, 170,912 edges, 4,714 features,
+//	                    4 classes (page categories)
+//	LastFM Asia:         7,624 vertices, 55,612 edges, 128 features,
+//	                    18 classes (user nationalities)
+//
+// Feature dimensionality is scaled down alongside N for the Facebook
+// preset (the real 4,714-dim bag of words at scale 1 is allowed but slow);
+// the LDP encoder's bin mechanics only depend on the ratio d / wl(u), which
+// stays in a realistic regime.
+
+// FacebookLike returns a synthetic stand-in for the Facebook page-page
+// graph at the given scale ∈ (0, 1].
+func FacebookLike(scale float64, seed int64) (*Graph, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("graph: scale %v outside (0,1]", scale)
+	}
+	n := scaledInt(22470, scale, 60)
+	m := scaledInt(170912, scale, 8*60/2)
+	d := scaledInt(4714, scale, 96)
+	if d > 512 && scale < 1 {
+		d = 512 // keep scaled runs fast; full scale keeps the real width
+	}
+	return Generate(GenConfig{
+		Name:       fmt.Sprintf("facebook-like(x%.3g)", scale),
+		N:          n,
+		M:          capEdges(m, n),
+		Classes:    4,
+		FeatureDim: d,
+		PowerLaw:   2.3,
+		Homophily:  0.85,
+		// Page-category labels carry intrinsic taxonomy noise; this sets a
+		// realistic accuracy ceiling (centralized GCN reaches ~0.84 on the
+		// real crawl, not 1.0).
+		LabelNoise: 0.12,
+		Seed:       seed,
+	})
+}
+
+// LastFMLike returns a synthetic stand-in for the LastFM Asia graph at the
+// given scale ∈ (0, 1].
+func LastFMLike(scale float64, seed int64) (*Graph, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("graph: scale %v outside (0,1]", scale)
+	}
+	n := scaledInt(7624, scale, 90)
+	m := scaledInt(55612, scale, 90*7/2)
+	return Generate(GenConfig{
+		Name:       fmt.Sprintf("lastfm-like(x%.3g)", scale),
+		N:          n,
+		M:          capEdges(m, n),
+		Classes:    18,
+		FeatureDim: 128,
+		PowerLaw:   2.5,
+		Homophily:  0.85,
+		// The real features (preferred musicians) are strongly indicative
+		// of the nationality label and redundant — a user follows dozens of
+		// artists popular in their country. High signal rate plus many
+		// (partially overlapping) indicative dimensions mirrors that
+		// redundancy, which is what lets signal survive LDP noise.
+		FeatureSignal:  0.6,
+		ActivePerClass: 24,
+		// Nationality labels on a music site are noisy (expats, multi-
+		// national users); centralized GCN reaches ~0.77 on the real crawl.
+		LabelNoise: 0.18,
+		Seed:       seed,
+	})
+}
+
+// SmallWorld returns a small deterministic test graph: a ring of n vertices
+// with k extra chords, 2 classes, 8 features. Useful in unit tests that
+// need a connected graph with known structure.
+func SmallWorld(n int, seed int64) (*Graph, error) {
+	if n < 8 {
+		return nil, fmt.Errorf("graph: SmallWorld needs n ≥ 8, got %d", n)
+	}
+	return Generate(GenConfig{
+		Name:       fmt.Sprintf("smallworld(%d)", n),
+		N:          n,
+		M:          capEdges(3*n, n),
+		Classes:    2,
+		FeatureDim: 8,
+		PowerLaw:   2.8,
+		Homophily:  0.75,
+		Seed:       seed,
+	})
+}
+
+func scaledInt(full int, scale float64, min int) int {
+	v := int(math.Round(float64(full) * scale))
+	if v < min {
+		v = min
+	}
+	if v > full {
+		v = full
+	}
+	return v
+}
+
+func capEdges(m, n int) int {
+	if mx := n * (n - 1) / 2; m > mx {
+		return mx
+	}
+	return m
+}

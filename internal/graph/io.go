@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lumos/internal/tensor"
+)
+
+// Binary (de)serialization so generated datasets can be stored and shared
+// (cmd/lumos-datagen). Format: magic, name, dims, edges, labels, feature
+// matrix blob — all little-endian and length-prefixed.
+
+const graphMagic = uint32(0x4c475248) // "LGRH"
+
+// Write serializes the graph.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	write := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	name := []byte(g.Name)
+	if err := write(graphMagic, uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := write(uint32(g.N), uint32(len(g.Edges)), uint32(g.NumClasses),
+		g.FeatLo, g.FeatHi); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if err := write(uint32(e[0]), uint32(e[1])); err != nil {
+			return err
+		}
+	}
+	hasLabels := uint32(0)
+	if g.Labels != nil {
+		hasLabels = 1
+	}
+	if err := write(hasLabels); err != nil {
+		return err
+	}
+	if g.Labels != nil {
+		for _, y := range g.Labels {
+			if err := write(uint32(y)); err != nil {
+				return err
+			}
+		}
+	}
+	hasFeats := uint32(0)
+	if g.Features != nil {
+		hasFeats = 1
+	}
+	if err := write(hasFeats); err != nil {
+		return err
+	}
+	if g.Features != nil {
+		blob, err := g.Features.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := write(uint32(len(blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic, nameLen uint32
+	if err := read(&magic, &nameLen); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if magic != graphMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var n, m, classes uint32
+	var lo, hi float64
+	if err := read(&n, &m, &classes, &lo, &hi); err != nil {
+		return nil, err
+	}
+	edges := make([][2]int, m)
+	for i := range edges {
+		var u, v uint32
+		if err := read(&u, &v); err != nil {
+			return nil, err
+		}
+		edges[i] = [2]int{int(u), int(v)}
+	}
+	var hasLabels uint32
+	if err := read(&hasLabels); err != nil {
+		return nil, err
+	}
+	var labels []int
+	if hasLabels == 1 {
+		labels = make([]int, n)
+		for i := range labels {
+			var y uint32
+			if err := read(&y); err != nil {
+				return nil, err
+			}
+			labels[i] = int(y)
+		}
+	}
+	var hasFeats uint32
+	if err := read(&hasFeats); err != nil {
+		return nil, err
+	}
+	var feats *tensor.Matrix
+	if hasFeats == 1 {
+		var blobLen uint32
+		if err := read(&blobLen); err != nil {
+			return nil, err
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, err
+		}
+		var mat tensor.Matrix
+		if err := mat.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		feats = &mat
+	}
+	g, err := NewFromEdges(int(n), edges, feats, labels, int(classes))
+	if err != nil {
+		return nil, err
+	}
+	g.Name = string(name)
+	g.FeatLo, g.FeatHi = lo, hi
+	return g, nil
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodeSplit holds the vertex partition for supervised learning. The paper
+// samples vertices uniformly 50% / 25% / 25% into train/val/test.
+type NodeSplit struct {
+	Train, Val, Test []int
+	// IsTrain etc. are membership masks indexed by vertex.
+	IsTrain, IsVal, IsTest []bool
+}
+
+// SplitNodes partitions vertices uniformly at random by the given
+// fractions (trainFrac + valFrac ≤ 1; the remainder is the test set).
+func SplitNodes(g *Graph, trainFrac, valFrac float64, rng *rand.Rand) (*NodeSplit, error) {
+	if trainFrac <= 0 || valFrac < 0 || trainFrac+valFrac >= 1 {
+		return nil, fmt.Errorf("graph: bad node split fractions %v/%v", trainFrac, valFrac)
+	}
+	perm := rng.Perm(g.N)
+	nTrain := int(float64(g.N) * trainFrac)
+	nVal := int(float64(g.N) * valFrac)
+	if nTrain == 0 || nTrain+nVal >= g.N {
+		return nil, fmt.Errorf("graph: split leaves empty partition (N=%d train=%d val=%d)", g.N, nTrain, nVal)
+	}
+	s := &NodeSplit{
+		IsTrain: make([]bool, g.N),
+		IsVal:   make([]bool, g.N),
+		IsTest:  make([]bool, g.N),
+	}
+	for i, v := range perm {
+		switch {
+		case i < nTrain:
+			s.Train = append(s.Train, v)
+			s.IsTrain[v] = true
+		case i < nTrain+nVal:
+			s.Val = append(s.Val, v)
+			s.IsVal[v] = true
+		default:
+			s.Test = append(s.Test, v)
+			s.IsTest[v] = true
+		}
+	}
+	return s, nil
+}
+
+// EdgeSplit holds the edge partition for unsupervised link prediction plus
+// sampled negative (non-)edges for evaluation. The paper samples edges
+// uniformly 80% / 5% / 15%.
+type EdgeSplit struct {
+	// TrainGraph contains only the training edges (same vertices/features).
+	TrainGraph *Graph
+	Train      [][2]int
+	Val        [][2]int
+	Test       [][2]int
+	// ValNeg and TestNeg are sampled non-edges of the same sizes as Val
+	// and Test, for ROC-AUC computation.
+	ValNeg  [][2]int
+	TestNeg [][2]int
+}
+
+// SplitEdges partitions edges uniformly at random and samples matching
+// negative pairs that are non-edges of the full graph.
+func SplitEdges(g *Graph, trainFrac, valFrac float64, rng *rand.Rand) (*EdgeSplit, error) {
+	if trainFrac <= 0 || valFrac < 0 || trainFrac+valFrac >= 1 {
+		return nil, fmt.Errorf("graph: bad edge split fractions %v/%v", trainFrac, valFrac)
+	}
+	m := len(g.Edges)
+	if m < 10 {
+		return nil, fmt.Errorf("graph: too few edges (%d) to split", m)
+	}
+	perm := rng.Perm(m)
+	nTrain := int(float64(m) * trainFrac)
+	nVal := int(float64(m) * valFrac)
+	if nTrain == 0 || nTrain+nVal >= m {
+		return nil, fmt.Errorf("graph: edge split leaves empty partition (M=%d)", m)
+	}
+	s := &EdgeSplit{}
+	for i, idx := range perm {
+		e := g.Edges[idx]
+		switch {
+		case i < nTrain:
+			s.Train = append(s.Train, e)
+		case i < nTrain+nVal:
+			s.Val = append(s.Val, e)
+		default:
+			s.Test = append(s.Test, e)
+		}
+	}
+	var err error
+	s.TrainGraph, err = g.Subgraph(s.Train)
+	if err != nil {
+		return nil, err
+	}
+	s.ValNeg, err = SampleNonEdges(g, len(s.Val), rng)
+	if err != nil {
+		return nil, err
+	}
+	s.TestNeg, err = SampleNonEdges(g, len(s.Test), rng)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SampleNonEdges draws k distinct vertex pairs that are not edges of g.
+func SampleNonEdges(g *Graph, k int, rng *rand.Rand) ([][2]int, error) {
+	maxPairs := g.N * (g.N - 1) / 2
+	if k > maxPairs-len(g.Edges) {
+		return nil, fmt.Errorf("graph: cannot sample %d non-edges from %d available",
+			k, maxPairs-len(g.Edges))
+	}
+	out := make([][2]int, 0, k)
+	seen := make(map[[2]int]bool, k)
+	for len(out) < k {
+		u, v := rng.Intn(g.N), rng.Intn(g.N)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := [2]int{u, v}
+		if seen[p] || g.HasEdge(u, v) {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out, nil
+}

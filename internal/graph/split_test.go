@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func splitTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Generate(GenConfig{Name: "split", N: 200, M: 800, Classes: 2, FeatureDim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSplitNodesPartition(t *testing.T) {
+	g := splitTestGraph(t)
+	s, err := SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Train)+len(s.Val)+len(s.Test) != g.N {
+		t.Fatal("split does not partition the vertex set")
+	}
+	if len(s.Train) != 100 || len(s.Val) != 50 {
+		t.Fatalf("split sizes %d/%d/%d", len(s.Train), len(s.Val), len(s.Test))
+	}
+	seen := make([]int, g.N)
+	for _, v := range s.Train {
+		seen[v]++
+	}
+	for _, v := range s.Val {
+		seen[v]++
+	}
+	for _, v := range s.Test {
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("vertex %d appears %d times", v, c)
+		}
+	}
+	for _, v := range s.Train {
+		if !s.IsTrain[v] || s.IsVal[v] || s.IsTest[v] {
+			t.Fatal("masks inconsistent")
+		}
+	}
+}
+
+func TestSplitNodesValidation(t *testing.T) {
+	g := splitTestGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, fr := range [][2]float64{{0, 0.2}, {0.8, 0.3}, {-0.1, 0.2}, {1.0, 0}} {
+		if _, err := SplitNodes(g, fr[0], fr[1], rng); err == nil {
+			t.Fatalf("fractions %v must error", fr)
+		}
+	}
+}
+
+func TestSplitEdgesPartition(t *testing.T) {
+	g := splitTestGraph(t)
+	s, err := SplitEdges(g, 0.8, 0.05, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Train)+len(s.Val)+len(s.Test) != g.NumEdges() {
+		t.Fatal("edge split does not partition")
+	}
+	if s.TrainGraph.NumEdges() != len(s.Train) {
+		t.Fatal("train graph edge count mismatch")
+	}
+	if len(s.ValNeg) != len(s.Val) || len(s.TestNeg) != len(s.Test) {
+		t.Fatal("negative sample counts mismatch")
+	}
+	// Negatives must not be edges of the full graph.
+	for _, e := range append(append([][2]int{}, s.ValNeg...), s.TestNeg...) {
+		if g.HasEdge(e[0], e[1]) {
+			t.Fatalf("negative sample %v is an edge", e)
+		}
+	}
+	// Test edges must be absent from the training graph.
+	for _, e := range s.Test {
+		if s.TrainGraph.HasEdge(e[0], e[1]) {
+			t.Fatalf("test edge %v leaked into train graph", e)
+		}
+	}
+}
+
+func TestSplitEdgesTooFew(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}})
+	if _, err := SplitEdges(g, 0.8, 0.05, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for tiny edge set")
+	}
+}
+
+func TestSampleNonEdges(t *testing.T) {
+	g := splitTestGraph(t)
+	rng := rand.New(rand.NewSource(4))
+	ne, err := SampleNonEdges(g, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ne) != 50 {
+		t.Fatalf("sampled %d non-edges", len(ne))
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range ne {
+		if g.HasEdge(e[0], e[1]) || e[0] == e[1] || seen[e] {
+			t.Fatalf("bad non-edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestSampleNonEdgesExhausted(t *testing.T) {
+	// Complete graph on 4 vertices: no non-edges available.
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if _, err := SampleNonEdges(g, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error when no non-edges exist")
+	}
+}

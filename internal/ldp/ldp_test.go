@@ -1,0 +1,327 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneBitValidate(t *testing.T) {
+	if err := (OneBit{Eps: 1, A: 0, B: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []OneBit{{Eps: 0, A: 0, B: 1}, {Eps: -1, A: 0, B: 1}, {Eps: 1, A: 1, B: 1}, {Eps: 1, A: 2, B: 1}} {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("config %+v must be invalid", m)
+		}
+	}
+}
+
+// TestTheorem3Unbiased verifies the paper's Theorem 3: the recovered
+// feature is an unbiased estimator of the original.
+func TestTheorem3Unbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := OneBit{Eps: 0.4, A: 0, B: 1}
+	for _, x := range []float64{0, 0.2, 0.5, 0.77, 1} {
+		const trials = 300000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += m.RecoverValue(m.EncodeValue(x, rng))
+		}
+		mean := sum / trials
+		// The recovered scale is (b−a)/2·(e^ε+1)/(e^ε−1) ≈ 2.5 at ε=0.4, so
+		// a ±0.03 tolerance is ≈4σ of the sample mean.
+		if math.Abs(mean-x) > 0.03 {
+			t.Fatalf("recovered mean %v for x=%v (bias %v)", mean, x, mean-x)
+		}
+	}
+}
+
+// TestTheorem4LikelihoodRatio verifies the ε-LDP bound of the one-bit
+// encoder: for any two inputs, the probability ratio of any output is
+// bounded by e^ε.
+func TestTheorem4LikelihoodRatio(t *testing.T) {
+	eps := 0.8
+	m := OneBit{Eps: eps, A: 0, B: 1}
+	e := math.Exp(eps)
+	p := func(x float64) float64 { // P[bit=1 | x]
+		return 1/(e+1) + x*(e-1)/(e+1)
+	}
+	for _, x1 := range []float64{0, 0.3, 1} {
+		for _, x2 := range []float64{0, 0.7, 1} {
+			r1 := p(x1) / p(x2)
+			r0 := (1 - p(x1)) / (1 - p(x2))
+			if r1 > e+1e-9 || r0 > e+1e-9 {
+				t.Fatalf("likelihood ratio %v/%v exceeds e^eps=%v", r1, r0, e)
+			}
+		}
+	}
+	_ = m
+}
+
+func TestEncodeValueClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := OneBit{Eps: 100, A: 0, B: 1} // near-deterministic at huge ε
+	ones := 0
+	for i := 0; i < 1000; i++ {
+		ones += int(m.EncodeValue(5 /* above B: clamped to 1 */, rng))
+	}
+	if ones < 990 {
+		t.Fatalf("clamped encode of 5 gave %d ones", ones)
+	}
+}
+
+func TestRecoverValueCases(t *testing.T) {
+	m := OneBit{Eps: 1, A: -2, B: 2}
+	if got := m.RecoverValue(NotTransmitted); got != 0 {
+		t.Fatalf("midpoint recovery = %v, want 0", got)
+	}
+	hi := m.RecoverValue(1)
+	lo := m.RecoverValue(0)
+	if hi <= 0 || lo >= 0 || math.Abs(hi+lo) > 1e-12 {
+		t.Fatalf("recovery not symmetric: %v / %v", hi, lo)
+	}
+}
+
+func TestRecoverValuePanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneBit{Eps: 1, A: 0, B: 1}.RecoverValue(0.7)
+}
+
+func TestBinPartitionCoversEverythingOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bins := BinPartition(103, 7, rng)
+	if len(bins) != 7 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	seen := make([]int, 103)
+	for _, b := range bins {
+		for _, i := range b {
+			seen[i]++
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("element %d in %d bins", i, c)
+		}
+	}
+	// Near-equal sizes: 103 = 7*14 + 5 → sizes 14 or 15.
+	for k, b := range bins {
+		if len(b) != 14 && len(b) != 15 {
+			t.Fatalf("bin %d size %d", k, len(b))
+		}
+	}
+}
+
+func TestQuickBinPartition(t *testing.T) {
+	f := func(d, bins uint8, seed int64) bool {
+		dd, bb := int(d%200)+1, int(bins%10)+1
+		parts := BinPartition(dd, bb, rand.New(rand.NewSource(seed)))
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		return total == dd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureEncoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := FeatureEncoder{Epsilon: 2, A: 0, B: 1, Workload: 4, Dim: 20}
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	parts, err := f.Encode(x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	transmitted := 0
+	for _, p := range parts {
+		if len(p) != 20 {
+			t.Fatalf("part length %d", len(p))
+		}
+		for _, v := range p {
+			switch v {
+			case 0, 1:
+				transmitted++
+			case NotTransmitted:
+			default:
+				t.Fatalf("encoded value %v", v)
+			}
+		}
+	}
+	if transmitted != 20 {
+		t.Fatalf("transmitted %d elements, want every element exactly once", transmitted)
+	}
+	rec, err := f.Recover(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 20 {
+		t.Fatal("recover length wrong")
+	}
+}
+
+func TestFeatureEncoderValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bad := FeatureEncoder{Epsilon: 2, A: 0, B: 1, Workload: 0, Dim: 4}
+	if _, err := bad.Encode(make([]float64, 4), rng); err == nil {
+		t.Fatal("workload 0 must error")
+	}
+	f := FeatureEncoder{Epsilon: 2, A: 0, B: 1, Workload: 2, Dim: 4}
+	if _, err := f.Encode(make([]float64, 3), rng); err == nil {
+		t.Fatal("wrong feature length must error")
+	}
+	if _, err := f.Recover(make([]float64, 3)); err == nil {
+		t.Fatal("wrong encoded length must error")
+	}
+}
+
+func TestFeatureEncoderBudget(t *testing.T) {
+	f := FeatureEncoder{Epsilon: 2, A: 0, B: 1, Workload: 8, Dim: 128}
+	want := 2.0 * 8 / 128
+	if math.Abs(f.PerElementEps()-want) > 1e-12 {
+		t.Fatalf("per-element eps = %v, want %v", f.PerElementEps(), want)
+	}
+}
+
+func TestGaussianSigma(t *testing.T) {
+	s, err := GaussianSigma(2, 1e-5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2*math.Log(1.25/1e-5)) / 2
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("sigma = %v, want %v", s, want)
+	}
+	for _, args := range [][3]float64{{0, 1e-5, 1}, {1, 0, 1}, {1, 2, 1}, {1, 1e-5, 0}} {
+		if _, err := GaussianSigma(args[0], args[1], args[2]); err == nil {
+			t.Fatalf("args %v must error", args)
+		}
+	}
+}
+
+func TestGaussianPerturbStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := Gaussian{Sigma: 2}
+	x := make([]float64, 100000)
+	g.Perturb(x, rng)
+	mean, varsum := 0.0, 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for _, v := range x {
+		varsum += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(x)))
+	if math.Abs(mean) > 0.05 || math.Abs(std-2) > 0.05 {
+		t.Fatalf("gaussian stats mean=%v std=%v", mean, std)
+	}
+}
+
+func TestRandomizedResponseKeepRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rr := RandomizedResponse{Eps: 1, K: 4}
+	kept := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if rr.Perturb(2, rng) == 2 {
+			kept++
+		}
+	}
+	got := float64(kept) / trials
+	if math.Abs(got-rr.KeepProb()) > 0.01 {
+		t.Fatalf("keep rate %v, want %v", got, rr.KeepProb())
+	}
+}
+
+func TestRandomizedResponseOutputsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rr := RandomizedResponse{Eps: 0.1, K: 5}
+	for i := 0; i < 1000; i++ {
+		v := rr.Perturb(i%5, rng)
+		if v < 0 || v >= 5 {
+			t.Fatalf("output %d outside range", v)
+		}
+	}
+	b := rr
+	b.K = 2
+	_ = b.PerturbBit(true, rng)
+	_ = b.PerturbBit(false, rng)
+}
+
+func TestRandomizedResponsePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomizedResponse{Eps: 1, K: 1}.Perturb(0, rng)
+}
+
+func TestMultiBitEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := MultiBit{Eps: 2, M: 3, A: 0, B: 1}
+	x := []float64{1, 0, 1, 0, 1, 0, 1, 0}
+	out, err := m.Encode(x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonMid := 0
+	for _, v := range out {
+		if v != 0.5 {
+			nonMid++
+		}
+	}
+	if nonMid != 3 {
+		t.Fatalf("%d dims transmitted, want 3", nonMid)
+	}
+	if _, err := m.Encode(nil, rng); err == nil {
+		t.Fatal("empty feature must error")
+	}
+}
+
+func TestMultiBitUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := MultiBit{Eps: 4, M: 1, A: 0, B: 1}
+	x := []float64{0.8, 0.1}
+	const trials = 200000
+	sums := make([]float64, 2)
+	for i := 0; i < trials; i++ {
+		out, err := m.Encode(x, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[0] += out[0]
+		sums[1] += out[1]
+	}
+	// Each dim is sampled half the time (mid 0.5 otherwise), so
+	// E[out_i] = 0.5·x_i + 0.5·0.5.
+	for i, x0 := range x {
+		want := 0.5*x0 + 0.25
+		got := sums[i] / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("dim %d mean %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestComposedEps(t *testing.T) {
+	if ComposedEps(0.5, 1, 0.25) != 1.75 {
+		t.Fatal("composition sum wrong")
+	}
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lumos/internal/autodiff"
+)
+
+// Backbone selects the GNN layer family, mirroring the paper's two
+// backbones (GCN [15] and GAT [16]).
+type Backbone int
+
+const (
+	// GCN selects graph convolutional layers.
+	GCN Backbone = iota
+	// GAT selects multi-head graph attention layers.
+	GAT
+)
+
+// String returns the backbone name as used in the paper's tables.
+func (b Backbone) String() string {
+	switch b {
+	case GCN:
+		return "GCN"
+	case GAT:
+		return "GAT"
+	default:
+		return fmt.Sprintf("Backbone(%d)", int(b))
+	}
+}
+
+// GNNConfig describes a multi-layer GNN encoder. The paper's setting is
+// Layers=2, Hidden=Out=16, Heads=4 (GAT), Dropout=0.01.
+type GNNConfig struct {
+	Backbone Backbone
+	InDim    int
+	Hidden   int
+	OutDim   int
+	Layers   int
+	Heads    int     // GAT only
+	Dropout  float64 // applied after each hidden activation
+}
+
+// Validate fills defaults and checks consistency.
+func (c *GNNConfig) Validate() error {
+	if c.Layers <= 0 {
+		c.Layers = 2
+	}
+	if c.Heads <= 0 {
+		c.Heads = 1
+	}
+	if c.InDim <= 0 || c.Hidden <= 0 || c.OutDim <= 0 {
+		return fmt.Errorf("nn: GNNConfig dims must be positive (in=%d hidden=%d out=%d)",
+			c.InDim, c.Hidden, c.OutDim)
+	}
+	if c.Dropout < 0 || c.Dropout >= 1 {
+		return fmt.Errorf("nn: dropout %v outside [0,1)", c.Dropout)
+	}
+	return nil
+}
+
+// convLayer abstracts GCNConv and GATConv behind one interface.
+type convLayer interface {
+	Module
+	forwardConv(g *ConvGraph, x *autodiff.Value) *autodiff.Value
+}
+
+type gcnAdapter struct{ *GCNConv }
+
+func (a gcnAdapter) forwardConv(g *ConvGraph, x *autodiff.Value) *autodiff.Value {
+	return a.Forward(g, x)
+}
+
+type gatAdapter struct{ *GATConv }
+
+func (a gatAdapter) forwardConv(g *ConvGraph, x *autodiff.Value) *autodiff.Value {
+	return a.Forward(g, x)
+}
+
+// GNN is a multi-layer graph neural network encoder: conv → ReLU → dropout,
+// repeated, with no activation after the final layer (embeddings come out
+// raw, as in the paper).
+type GNN struct {
+	Cfg    GNNConfig
+	layers []convLayer
+}
+
+// NewGNN constructs a GNN encoder per cfg with Glorot initialization.
+func NewGNN(cfg GNNConfig, rng *rand.Rand) (*GNN, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &GNN{Cfg: cfg}
+	in := cfg.InDim
+	for i := 0; i < cfg.Layers; i++ {
+		last := i == cfg.Layers-1
+		out := cfg.Hidden
+		if last {
+			out = cfg.OutDim
+		}
+		name := fmt.Sprintf("gnn.l%d", i)
+		switch cfg.Backbone {
+		case GCN:
+			m.layers = append(m.layers, gcnAdapter{NewGCNConv(name, in, out, rng)})
+			in = out
+		case GAT:
+			// Hidden layers concatenate heads; the final layer averages
+			// them, the standard GAT arrangement.
+			l := NewGATConv(name, in, out, cfg.Heads, !last, rng)
+			m.layers = append(m.layers, gatAdapter{l})
+			in = l.OutDim()
+		default:
+			return nil, fmt.Errorf("nn: unknown backbone %v", cfg.Backbone)
+		}
+	}
+	return m, nil
+}
+
+// EmbeddingDim returns the width of the encoder output.
+func (m *GNN) EmbeddingDim() int { return m.Cfg.OutDim }
+
+// Forward encodes node features x over graph g. training enables dropout.
+func (m *GNN) Forward(g *ConvGraph, x *autodiff.Value, training bool, rng *rand.Rand) *autodiff.Value {
+	h := x
+	for i, l := range m.layers {
+		h = l.forwardConv(g, h)
+		if i < len(m.layers)-1 {
+			h = autodiff.ReLU(h)
+			h = autodiff.Dropout(h, m.Cfg.Dropout, rng, training)
+		}
+	}
+	return h
+}
+
+// Params implements Module.
+func (m *GNN) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Classifier couples a GNN encoder with a linear decoding head, the
+// supervised architecture of §VI-C(a): z_u = LINEAR(h_u), softmax, CE loss.
+type Classifier struct {
+	Encoder *GNN
+	Head    *Linear
+}
+
+// NewClassifier builds an encoder plus a classes-way linear head.
+func NewClassifier(cfg GNNConfig, classes int, rng *rand.Rand) (*Classifier, error) {
+	enc, err := NewGNN(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("nn: classifier needs ≥2 classes, got %d", classes)
+	}
+	return &Classifier{
+		Encoder: enc,
+		Head:    NewLinear("head", cfg.OutDim, classes, rng),
+	}, nil
+}
+
+// Params implements Module.
+func (c *Classifier) Params() []*Param {
+	return append(c.Encoder.Params(), c.Head.Params()...)
+}

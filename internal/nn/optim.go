@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+
+	"lumos/internal/autodiff"
+	"lumos/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba) with optional decoupled
+// weight decay. The paper trains every model with Adam at lr = 0.01.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*autodiff.Value]*tensor.Matrix
+	v map[*autodiff.Value]*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with the standard hyperparameters
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*autodiff.Value]*tensor.Matrix),
+		v:     make(map[*autodiff.Value]*tensor.Matrix),
+	}
+}
+
+// Step applies one update to every parameter that has a gradient, then
+// leaves gradients untouched (call ZeroGrad separately).
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		g := p.V.Grad
+		if g == nil {
+			continue
+		}
+		w := p.V.Data
+		m, ok := o.m[p.V]
+		if !ok {
+			m = tensor.New(w.Rows(), w.Cols())
+			o.m[p.V] = m
+		}
+		v, ok := o.v[p.V]
+		if !ok {
+			v = tensor.New(w.Rows(), w.Cols())
+			o.v[p.V] = v
+		}
+		wd, gd, md, vd := w.Data(), g.Data(), m.Data(), v.Data()
+		for i := range wd {
+			gi := gd[i]
+			if o.WeightDecay != 0 {
+				gi += o.WeightDecay * wd[i]
+			}
+			md[i] = o.Beta1*md[i] + (1-o.Beta1)*gi
+			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*gi*gi
+			mhat := md[i] / bc1
+			vhat := vd[i] / bc2
+			wd[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+}
+
+// Reset clears optimizer state (moments and step count).
+func (o *Adam) Reset() {
+	o.t = 0
+	o.m = make(map[*autodiff.Value]*tensor.Matrix)
+	o.v = make(map[*autodiff.Value]*tensor.Matrix)
+}
+
+// StepCount returns the number of updates applied so far.
+func (o *Adam) StepCount() int { return o.t }
+
+// SGD is a plain stochastic gradient descent optimizer, kept as a simple
+// reference and for ablation against Adam.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*autodiff.Value]*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*autodiff.Value]*tensor.Matrix)}
+}
+
+// Step applies one SGD (with momentum) update.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.V.Grad
+		if g == nil {
+			continue
+		}
+		w := p.V.Data
+		if o.Momentum == 0 {
+			tensor.AddScaledInPlace(w, -o.LR, g)
+			continue
+		}
+		v, ok := o.vel[p.V]
+		if !ok {
+			v = tensor.New(w.Rows(), w.Cols())
+			o.vel[p.V] = v
+		}
+		vd, gd, wd := v.Data(), g.Data(), w.Data()
+		for i := range wd {
+			vd[i] = o.Momentum*vd[i] + gd[i]
+			wd[i] -= o.LR * vd[i]
+		}
+	}
+}
+
+// Optimizer is the interface shared by Adam and SGD.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+var (
+	_ Optimizer = (*Adam)(nil)
+	_ Optimizer = (*SGD)(nil)
+)

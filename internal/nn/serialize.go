@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lumos/internal/tensor"
+)
+
+// Checkpointing: named parameters are written as a simple length-prefixed
+// stream so trained models can be saved and restored without reflection or
+// third-party formats.
+
+const checkpointMagic = uint32(0x4c4d4f53) // "LMOS"
+
+// SaveParams writes all parameters of m to w.
+func SaveParams(w io.Writer, m Module) error {
+	bw := bufio.NewWriter(w)
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		blob, err := p.V.Data.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams restores parameters into m, matching by name. Every parameter
+// of m must be present in the stream with an identical shape.
+func LoadParams(r io.Reader, m Module) error {
+	br := bufio.NewReader(r)
+	var magic, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	loaded := make(map[string]*tensor.Matrix, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		var blobLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
+			return err
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return err
+		}
+		var mat tensor.Matrix
+		if err := mat.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("nn: parameter %q: %w", name, err)
+		}
+		loaded[string(name)] = &mat
+	}
+	for _, p := range m.Params() {
+		mat, ok := loaded[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+		}
+		if mat.Rows() != p.V.Data.Rows() || mat.Cols() != p.V.Data.Cols() {
+			return fmt.Errorf("nn: parameter %q shape %dx%d, checkpoint has %dx%d",
+				p.Name, p.V.Data.Rows(), p.V.Data.Cols(), mat.Rows(), mat.Cols())
+		}
+		p.V.Data.CopyFrom(mat)
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package smc implements the secure two-party computation primitives that
+// Lumos's tree constructor relies on: a simulated 1-out-of-2 oblivious
+// transfer (OT) and, on top of it, a GMW-style secret-shared less-than
+// comparator over L-bit integers in the spirit of CrypTFlow2's millionaires
+// protocol (paper §V-C: degree comparisons in the greedy initialization and
+// workload comparisons in Alg. 3 both run under this protocol, so that only
+// the comparison bit — never the operand — is revealed; Definition 2's
+// zero-knowledge requirement).
+//
+// Simulation caveat (documented substitution): the OT here is an in-process
+// functionality — correctness, message counts, and the receiver's view are
+// faithful (the receiver obtains exactly m_choice, the sender learns
+// nothing about the choice, messages on the wire are one-time-pad masked by
+// the sender's private randomness), but it does not implement the
+// public-key base OTs / OT extension a deployment would use. All traffic is
+// routed through Stats so experiments can account for every byte a real
+// deployment would move.
+package smc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Stats accumulates protocol traffic. One Stats is typically shared by all
+// comparisons of an experiment run.
+type Stats struct {
+	Messages    int   // logical messages exchanged
+	Bytes       int64 // bytes on the wire (modeled)
+	OTs         int   // oblivious transfers executed
+	Comparisons int   // top-level comparisons completed
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+	s.OTs += other.OTs
+	s.Comparisons += other.Comparisons
+}
+
+// otWireBytes models the per-OT wire cost of an IKNP-style OT extension of
+// single-bit secrets: a 128-bit column plus two masked payloads.
+const otWireBytes = 18
+
+// shareWireBytes models sending one packed share vector of L bits.
+func shareWireBytes(bits int) int64 { return int64((bits + 7) / 8) }
+
+// Party holds one participant's private randomness. In the federated
+// system every device owns one Party seeded from its device id.
+type Party struct {
+	rng *rand.Rand
+}
+
+// NewParty returns a Party with its own deterministic randomness stream.
+func NewParty(seed int64) *Party {
+	return &Party{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *Party) bit() byte { return byte(p.rng.Intn(2)) }
+
+// obliviousTransferBit executes one simulated 1-out-of-2 OT of single-bit
+// secrets: the receiver learns m[choice]; the sender learns nothing about
+// choice. The sender's pad (drawn from its private randomness) models the
+// masking a real OT provides.
+func obliviousTransferBit(sender *Party, m0, m1 byte, choice byte, stats *Stats) byte {
+	pad0, pad1 := sender.bit(), sender.bit()
+	// Wire: sender transmits (m0⊕pad0, m1⊕pad1) plus the OT machinery that
+	// lets the receiver unmask exactly one of them.
+	c0, c1 := m0^pad0, m1^pad1
+	stats.OTs++
+	stats.Messages += 3 // receiver selection, sender payload, key transfer
+	stats.Bytes += otWireBytes
+	if choice == 0 {
+		return c0 ^ pad0
+	}
+	return c1 ^ pad1
+}
+
+// sharedBit is one GF(2) secret-shared bit: value = a ^ b, with a held by
+// Alice and b by Bob.
+type sharedBit struct{ a, b byte }
+
+// xor is the free local XOR gate.
+func (x sharedBit) xor(y sharedBit) sharedBit { return sharedBit{x.a ^ y.a, x.b ^ y.b} }
+
+// notBit flips the plaintext by flipping Alice's share only.
+func (x sharedBit) notBit() sharedBit { return sharedBit{x.a ^ 1, x.b} }
+
+// and evaluates a GMW AND gate using two OTs (one per cross term).
+func andGate(alice, bob *Party, x, y sharedBit, stats *Stats) sharedBit {
+	// x∧y = xA·yA ⊕ xA·yB ⊕ xB·yA ⊕ xB·yB.
+	// Cross term xA·yB: Alice is OT sender with (s, s⊕xA); Bob selects yB.
+	s1 := alice.bit()
+	t1 := obliviousTransferBit(alice, s1, s1^x.a, y.b, stats)
+	// Cross term xB·yA: Bob is OT sender with (s2, s2⊕xB); Alice selects yA.
+	s2 := bob.bit()
+	t2 := obliviousTransferBit(bob, s2, s2^x.b, y.a, stats)
+	return sharedBit{
+		a: (x.a & y.a) ^ s1 ^ t2,
+		b: (x.b & y.b) ^ s2 ^ t1,
+	}
+}
+
+// shareInput secret-shares owner's bit with the counterpart: the owner
+// draws a random mask r (its share) and transmits value⊕r.
+func shareInput(owner *Party, value byte, ownerIsAlice bool, stats *Stats) sharedBit {
+	r := owner.bit()
+	stats.Messages++
+	if ownerIsAlice {
+		return sharedBit{a: r, b: value ^ r}
+	}
+	return sharedBit{a: value ^ r, b: r}
+}
+
+// Protocol is a configured secure comparator.
+type Protocol struct {
+	// Bits is the operand width L. The paper stores degrees in L bits;
+	// 32 comfortably covers any workload value in our experiments.
+	Bits  int
+	Stats *Stats
+}
+
+// NewProtocol returns a Protocol with the given operand width, recording
+// traffic into stats (which must not be nil).
+func NewProtocol(bits int, stats *Stats) *Protocol {
+	if bits <= 0 || bits > 64 {
+		panic(fmt.Sprintf("smc: operand width %d outside (0,64]", bits))
+	}
+	if stats == nil {
+		panic("smc: NewProtocol needs a Stats sink")
+	}
+	return &Protocol{Bits: bits, Stats: stats}
+}
+
+// Less securely computes a < b where alice holds a and bob holds b. Both
+// parties learn only the single result bit.
+func (p *Protocol) Less(alice *Party, a uint64, bob *Party, b uint64) bool {
+	p.checkRange(a)
+	p.checkRange(b)
+	// Input sharing: each party shares its L input bits (one packed message).
+	p.Stats.Bytes += 2 * shareWireBytes(p.Bits)
+	xs := make([]sharedBit, p.Bits)
+	ys := make([]sharedBit, p.Bits)
+	for i := 0; i < p.Bits; i++ {
+		xs[i] = shareInput(alice, byte(a>>uint(i))&1, true, p.Stats)
+		ys[i] = shareInput(bob, byte(b>>uint(i))&1, false, p.Stats)
+	}
+	// Bit-serial comparator, LSB → MSB:
+	//   lt_i = (¬x_i ∧ y_i) ⊕ ((x_i ≡ y_i) ∧ lt_{i-1})
+	lt := sharedBit{}
+	for i := 0; i < p.Bits; i++ {
+		diffLt := andGate(alice, bob, xs[i].notBit(), ys[i], p.Stats)
+		eq := xs[i].xor(ys[i]).notBit()
+		carry := andGate(alice, bob, eq, lt, p.Stats)
+		lt = diffLt.xor(carry)
+	}
+	// Output reveal: parties exchange final shares.
+	p.Stats.Messages += 2
+	p.Stats.Bytes += 2
+	p.Stats.Comparisons++
+	return lt.a^lt.b == 1
+}
+
+// LessOrEqual securely computes a ≤ b (¬(b < a)).
+func (p *Protocol) LessOrEqual(alice *Party, a uint64, bob *Party, b uint64) bool {
+	return !p.Less(bob, b, alice, a)
+}
+
+func (p *Protocol) checkRange(v uint64) {
+	if p.Bits < 64 && v >= 1<<uint(p.Bits) {
+		panic(fmt.Sprintf("smc: operand %d exceeds %d-bit width", v, p.Bits))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point comparison for the Metropolis-Hastings accept step
+// ---------------------------------------------------------------------------
+
+// FracBits is the fixed-point precision used when real-valued thresholds
+// enter a secure comparison.
+const FracBits = 16
+
+// AcceptMH securely decides the Metropolis-Hastings acceptance
+// U < e^{f(X)−f(X')} given that alice holds f(X) = fx (the current maximum
+// workload) and bob holds f(X') = fy (the proposed one). Equivalent to
+// deciding ln U < fx − fy, i.e. fy + lnU < fx, which is a single secure
+// comparison on fixed-point operands — only the accept bit is revealed, a
+// strictly smaller leak than revealing the difference itself.
+//
+// u must be in (0, 1]; it is drawn by the proposing device.
+func (p *Protocol) AcceptMH(alice *Party, fx float64, bob *Party, fy float64, u float64) bool {
+	if u <= 0 || u > 1 {
+		panic(fmt.Sprintf("smc: MH uniform draw %v outside (0,1]", u))
+	}
+	lnU := math.Log(u) // ≤ 0
+	// Compare fy + lnU < fx in fixed point. Offset both sides to stay
+	// non-negative: lnU ≥ −50 in any practical draw; clamp defensively.
+	if lnU < -1e6 {
+		lnU = -1e6
+	}
+	left := fy + lnU
+	right := fx
+	// Shift both sides by the same offset so operands are non-negative.
+	offset := 0.0
+	if left < 0 {
+		offset = -left
+	}
+	l := toFixed(left+offset, p.Bits)
+	r := toFixed(right+offset, p.Bits)
+	return p.Less(bob, l, alice, r)
+}
+
+func toFixed(v float64, bits int) uint64 {
+	if v < 0 {
+		panic(fmt.Sprintf("smc: fixed-point encode of negative %v", v))
+	}
+	x := v * float64(uint64(1)<<FracBits)
+	limit := math.Ldexp(1, bits) - 1
+	if x > limit {
+		x = limit
+	}
+	return uint64(x)
+}
+
+// ---------------------------------------------------------------------------
+// Secure difference (additive masking), kept for completeness
+// ---------------------------------------------------------------------------
+
+// Diff reveals a − b to the caller using additive masking through an
+// exchange of blinded values: bob blinds b with fresh randomness, alice
+// aggregates, bob unblinds the aggregate. Note that whoever learns a − b
+// and knows one operand can recover the other — which is why the MCMC uses
+// AcceptMH instead; Diff exists to mirror the paper's literal "compute
+// f(Xt) − f(X't)" formulation and for tests.
+func (p *Protocol) Diff(alice *Party, a int64, bob *Party, b int64) int64 {
+	r := int64(bob.rng.Uint64() >> 1) // bob's blinding factor
+	blinded := b + r                  // bob → alice
+	partial := a - blinded            // alice → bob
+	result := partial + r             // bob reveals a − b
+	p.Stats.Messages += 3
+	p.Stats.Bytes += 24
+	return result
+}

@@ -1,0 +1,235 @@
+package smc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessExhaustiveSmall(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(8, stats)
+	alice, bob := NewParty(1), NewParty(2)
+	for a := uint64(0); a < 20; a++ {
+		for b := uint64(0); b < 20; b++ {
+			if got := p.Less(alice, a, bob, b); got != (a < b) {
+				t.Fatalf("Less(%d,%d) = %v", a, b, got)
+			}
+		}
+	}
+}
+
+func TestLessRandom64Bit(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(64, stats)
+	alice, bob := NewParty(3), NewParty(4)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if got := p.Less(alice, a, bob, b); got != (a < b) {
+			t.Fatalf("Less(%d,%d) = %v", a, b, got)
+		}
+	}
+}
+
+func TestLessEqualValues(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(16, stats)
+	alice, bob := NewParty(6), NewParty(7)
+	for _, v := range []uint64{0, 1, 255, 65535} {
+		if p.Less(alice, v, bob, v) {
+			t.Fatalf("Less(%d,%d) returned true", v, v)
+		}
+		if !p.LessOrEqual(alice, v, bob, v) {
+			t.Fatalf("LessOrEqual(%d,%d) returned false", v, v)
+		}
+	}
+}
+
+func TestLessOrEqual(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(16, stats)
+	alice, bob := NewParty(8), NewParty(9)
+	if !p.LessOrEqual(alice, 3, bob, 5) || p.LessOrEqual(alice, 5, bob, 3) {
+		t.Fatal("LessOrEqual wrong")
+	}
+}
+
+func TestQuickLessMatchesPlaintext(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(32, stats)
+	f := func(a, b uint32, s1, s2 int64) bool {
+		alice, bob := NewParty(s1), NewParty(s2)
+		return p.Less(alice, uint64(a), bob, uint64(b)) == (a < b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(32, stats)
+	alice, bob := NewParty(10), NewParty(11)
+	p.Less(alice, 5, bob, 9)
+	if stats.Comparisons != 1 {
+		t.Fatalf("comparisons = %d", stats.Comparisons)
+	}
+	// 2 AND gates per bit, 2 OTs per AND.
+	if want := 4 * 32; stats.OTs != want {
+		t.Fatalf("OTs = %d, want %d", stats.OTs, want)
+	}
+	if stats.Messages == 0 || stats.Bytes == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	before := *stats
+	p.Less(alice, 1, bob, 2)
+	if stats.OTs != 2*before.OTs {
+		t.Fatal("second comparison must cost the same OTs")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Messages: 1, Bytes: 2, OTs: 3, Comparisons: 4}
+	b := Stats{Messages: 10, Bytes: 20, OTs: 30, Comparisons: 40}
+	a.Add(b)
+	if a.Messages != 11 || a.Bytes != 22 || a.OTs != 33 || a.Comparisons != 44 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestProtocolRangeCheck(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(8, stats)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range operand")
+		}
+	}()
+	p.Less(NewParty(1), 300, NewParty(2), 1)
+}
+
+func TestNewProtocolValidation(t *testing.T) {
+	for _, bits := range []int{0, -1, 65} {
+		func() {
+			defer func() { recover() }()
+			NewProtocol(bits, &Stats{})
+			t.Fatalf("bits=%d must panic", bits)
+		}()
+	}
+	func() {
+		defer func() { recover() }()
+		NewProtocol(32, nil)
+		t.Fatal("nil stats must panic")
+	}()
+}
+
+func TestObliviousTransferDeliversChoice(t *testing.T) {
+	stats := &Stats{}
+	sender := NewParty(12)
+	for i := 0; i < 100; i++ {
+		m0, m1 := byte(i%2), byte((i+1)%2)
+		if got := obliviousTransferBit(sender, m0, m1, 0, stats); got != m0 {
+			t.Fatalf("OT choice 0 returned %d", got)
+		}
+		if got := obliviousTransferBit(sender, m0, m1, 1, stats); got != m1 {
+			t.Fatalf("OT choice 1 returned %d", got)
+		}
+	}
+	if stats.OTs != 200 {
+		t.Fatalf("OT count = %d", stats.OTs)
+	}
+}
+
+// TestAcceptMHStatistics: accept frequency over uniform draws must match
+// min(1, e^{fx−fy}).
+func TestAcceptMHStatistics(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(48, stats)
+	alice, bob := NewParty(13), NewParty(14)
+	rng := rand.New(rand.NewSource(15))
+	cases := []struct {
+		fx, fy float64
+	}{
+		{10, 5},  // improvement: always accept
+		{5, 5},   // equal: always accept (e^0 = 1)
+		{5, 6},   // worse by 1: accept w.p. e^{-1}
+		{5, 7.5}, // worse by 2.5: accept w.p. e^{-2.5}
+	}
+	for _, c := range cases {
+		const trials = 4000
+		accepts := 0
+		for i := 0; i < trials; i++ {
+			if p.AcceptMH(alice, c.fx, bob, c.fy, 1-rng.Float64()) {
+				accepts++
+			}
+		}
+		want := math.Min(1, math.Exp(c.fx-c.fy))
+		got := float64(accepts) / trials
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("AcceptMH(%v,%v): rate %v, want %v", c.fx, c.fy, got, want)
+		}
+	}
+}
+
+func TestAcceptMHValidatesU(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(48, stats)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for u=0")
+		}
+	}()
+	p.AcceptMH(NewParty(1), 1, NewParty(2), 1, 0)
+}
+
+func TestDiff(t *testing.T) {
+	stats := &Stats{}
+	p := NewProtocol(32, stats)
+	alice, bob := NewParty(16), NewParty(17)
+	for _, c := range [][2]int64{{10, 3}, {3, 10}, {-5, 5}, {0, 0}, {1 << 40, 1}} {
+		if got := p.Diff(alice, c[0], bob, c[1]); got != c[0]-c[1] {
+			t.Fatalf("Diff(%d,%d) = %d", c[0], c[1], got)
+		}
+	}
+	if stats.Messages == 0 {
+		t.Fatal("Diff recorded no traffic")
+	}
+}
+
+func TestToFixedSaturates(t *testing.T) {
+	// Values exceeding the bit width saturate instead of wrapping.
+	big := toFixed(1e18, 32)
+	if big != uint64(math.Ldexp(1, 32)-1) {
+		t.Fatalf("toFixed overflow = %d", big)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative toFixed must panic")
+		}
+	}()
+	toFixed(-1, 32)
+}
+
+// TestPartyDeterminism: a Party with the same seed yields the same protocol
+// transcript, giving reproducible experiments.
+func TestPartyDeterminism(t *testing.T) {
+	run := func() []bool {
+		stats := &Stats{}
+		p := NewProtocol(16, stats)
+		alice, bob := NewParty(20), NewParty(21)
+		var outs []bool
+		rng := rand.New(rand.NewSource(22))
+		for i := 0; i < 50; i++ {
+			outs = append(outs, p.Less(alice, uint64(rng.Intn(100)), bob, uint64(rng.Intn(100))))
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("protocol not deterministic under fixed seeds")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package lumos is the public API of this repository: a from-scratch Go
+// implementation of "Lumos: Heterogeneity-aware Federated Graph Learning
+// over Decentralized Devices" (Pan, Zhu, Chu — ICDE 2023), together with
+// every substrate it needs (dense tensors with reverse-mode autodiff, GCN
+// and GAT layers, an LDP toolkit, a simulated secure two-party comparison
+// protocol, a federated device/network simulator) and the paper's three
+// comparison systems.
+//
+// The package re-exports the library's main entry points; the
+// implementation lives under internal/. Quick start:
+//
+//	g, _ := lumos.FacebookLike(0.02, 1)
+//	split, _ := lumos.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(1)))
+//	sys, _ := lumos.NewSystem(g, g, lumos.Config{Task: lumos.Supervised, Backbone: lumos.GCN, Epochs: 60})
+//	stats, _ := sys.TrainSupervised(split)
+//	acc, _ := sys.EvaluateAccuracy(split.IsTest)
+package lumos
+
+import (
+	"math/rand"
+
+	"lumos/internal/core"
+	"lumos/internal/eval"
+	"lumos/internal/graph"
+	"lumos/internal/nn"
+)
+
+// Graph and dataset handling.
+type (
+	// Graph is an undirected attributed graph; vertex v is device v.
+	Graph = graph.Graph
+	// GenConfig parameterizes the synthetic social-graph generator.
+	GenConfig = graph.GenConfig
+	// EgoNet is a device's complete local view.
+	EgoNet = graph.EgoNet
+	// NodeSplit is a train/val/test vertex partition.
+	NodeSplit = graph.NodeSplit
+	// EdgeSplit is a train/val/test edge partition with negative samples.
+	EdgeSplit = graph.EdgeSplit
+)
+
+// Generate produces a synthetic attributed social graph.
+func Generate(cfg GenConfig) (*Graph, error) { return graph.Generate(cfg) }
+
+// FacebookLike returns the Facebook page-page stand-in at the given scale.
+func FacebookLike(scale float64, seed int64) (*Graph, error) {
+	return graph.FacebookLike(scale, seed)
+}
+
+// LastFMLike returns the LastFM Asia stand-in at the given scale.
+func LastFMLike(scale float64, seed int64) (*Graph, error) {
+	return graph.LastFMLike(scale, seed)
+}
+
+// SplitNodes partitions vertices for supervised learning (paper: 50/25/25).
+func SplitNodes(g *Graph, trainFrac, valFrac float64, rng *rand.Rand) (*NodeSplit, error) {
+	return graph.SplitNodes(g, trainFrac, valFrac, rng)
+}
+
+// SplitEdges partitions edges for link prediction (paper: 80/5/15).
+func SplitEdges(g *Graph, trainFrac, valFrac float64, rng *rand.Rand) (*EdgeSplit, error) {
+	return graph.SplitEdges(g, trainFrac, valFrac, rng)
+}
+
+// Model selection.
+type (
+	// Backbone selects the GNN layer family.
+	Backbone = nn.Backbone
+)
+
+// Backbone values.
+const (
+	GCN = nn.GCN
+	GAT = nn.GAT
+)
+
+// The Lumos system.
+type (
+	// Config collects every Lumos hyperparameter; zero values choose the
+	// paper's settings.
+	Config = core.Config
+	// Task selects supervised or unsupervised training.
+	Task = core.Task
+	// System is an assembled Lumos deployment.
+	System = core.System
+	// TrainStats reports losses, per-epoch traffic, and the Fig. 8 cost
+	// metrics of a training run.
+	TrainStats = core.TrainStats
+)
+
+// Task values.
+const (
+	Supervised   = core.Supervised
+	Unsupervised = core.Unsupervised
+)
+
+// NewSystem assembles a Lumos deployment over graph g. For supervised
+// training pass full == g; for link prediction pass the training subgraph
+// as g and the complete graph as full.
+func NewSystem(g, full *Graph, cfg Config) (*System, error) {
+	return core.NewSystem(g, full, cfg)
+}
+
+// Experiment harness (one runner per paper figure).
+type (
+	// ExperimentOptions scales the reproduction suite.
+	ExperimentOptions = eval.Options
+	// ResultTable is a rendered experiment result.
+	ResultTable = eval.Table
+)
+
+// Experiment runners, one per paper artifact.
+var (
+	RunFig3     = eval.RunFig3
+	RunFig4     = eval.RunFig4
+	RunFig5     = eval.RunFig5
+	RunFig6     = eval.RunFig6
+	RunFig7     = eval.RunFig7
+	RunFig8     = eval.RunFig8
+	RunHeadline = eval.RunHeadline
+)

@@ -1,0 +1,87 @@
+package lumos_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lumos"
+)
+
+// TestPublicAPISupervised exercises the façade end to end the way the
+// README quickstart does.
+func TestPublicAPISupervised(t *testing.T) {
+	g, err := lumos.Generate(lumos.GenConfig{
+		Name: "api", N: 80, M: 320, Classes: 2, FeatureDim: 12, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := lumos.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := lumos.NewSystem(g, g, lumos.Config{
+		Task: lumos.Supervised, Backbone: lumos.GCN,
+		Epochs: 6, MCMCIterations: 15, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.TrainSupervised(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Losses) != 6 {
+		t.Fatalf("losses = %d", len(stats.Losses))
+	}
+	acc, err := sys.EvaluateAccuracy(split.IsTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+}
+
+func TestPublicAPIUnsupervised(t *testing.T) {
+	g, err := lumos.LastFMLike(0.015, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := lumos.SplitEdges(g, 0.8, 0.05, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := lumos.NewSystem(es.TrainGraph, g, lumos.Config{
+		Task: lumos.Unsupervised, Backbone: lumos.GCN,
+		Epochs: 5, MCMCIterations: 15, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TrainUnsupervised(es); err != nil {
+		t.Fatal(err)
+	}
+	auc, err := sys.EvaluateAUC(es.Test, es.TestNeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc <= 0 || auc > 1 {
+		t.Fatalf("AUC %v out of range", auc)
+	}
+}
+
+func TestPublicAPIExperimentRunners(t *testing.T) {
+	opts := lumos.ExperimentOptions{
+		FacebookScale:  0.008,
+		LastFMScale:    0.02,
+		Epochs:         3,
+		MCMCIterations: 10,
+		Backbones:      []lumos.Backbone{lumos.GCN},
+		Datasets:       []string{"Facebook"},
+		Seed:           3,
+	}
+	if _, err := lumos.RunFig7(opts); err != nil {
+		t.Fatal(err)
+	}
+}
