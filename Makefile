@@ -1,0 +1,22 @@
+# Developer entry points. `make ci` is the gate PRs must keep green.
+
+.PHONY: build test race bench ci
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Race hygiene for the device-parallel training engine: the worker pool,
+# shard views, and gradient reduction all run under the race detector.
+race:
+	go test -race -short ./internal/... ./...
+
+# Epoch benchmarks: BenchmarkEpochParallel reports its speedup over the
+# serial baseline as a custom metric.
+bench:
+	go test -run xxx -bench 'BenchmarkEpoch' -benchtime 10x .
+
+ci:
+	./scripts/ci.sh

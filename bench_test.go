@@ -11,7 +11,9 @@ package lumos_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"lumos"
 	"lumos/internal/autodiff"
@@ -349,6 +351,82 @@ func BenchmarkAblationRowNorm(b *testing.B) {
 		b.ReportMetric(1000*run(false), "acc_rownorm‰")
 		b.ReportMetric(1000*run(true), "acc_raw‰")
 	}
+}
+
+// BenchmarkEpochSerial measures one supervised training epoch through the
+// device-parallel engine pinned to a single worker — the serial baseline of
+// the Workers knob. The split carries no validation set so the measurement
+// is the epoch itself, not model selection.
+func BenchmarkEpochSerial(b *testing.B) {
+	sys, split := newEpochBenchSystem(b, 1)
+	// One untimed warm-up epoch so the heap is as warm as in the parallel
+	// benchmark's baseline phase.
+	if _, err := sys.TrainSupervised(split); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.TrainSupervised(split); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochParallel is the regression guard for the engine: the same
+// epoch with a full worker pool, reporting the speedup over the serial
+// baseline as a custom metric. Determinism makes the comparison exact — the
+// two configurations run bit-identical math, only scheduled differently.
+func BenchmarkEpochParallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	serial, serialSplit := newEpochBenchSystem(b, 1)
+	serialPerEpoch := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := serial.TrainSupervised(serialSplit); err != nil {
+			b.Fatal(err)
+		}
+		if d := time.Since(start); d < serialPerEpoch {
+			serialPerEpoch = d
+		}
+	}
+	sys, split := newEpochBenchSystem(b, workers)
+	// Same untimed warm-up the serial side gets, so neither configuration
+	// pays first-epoch allocation costs inside the timed region.
+	if _, err := sys.TrainSupervised(split); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.TrainSupervised(split); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	parallelPerEpoch := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(serialPerEpoch)/float64(parallelPerEpoch), "speedup×")
+}
+
+// newEpochBenchSystem builds the shared workload of the epoch benchmarks: a
+// mid-sized power-law graph, one-epoch supervised training, no validation
+// split (so TrainSupervised measures exactly one engine epoch per call).
+func newEpochBenchSystem(b *testing.B, workers int) (*lumos.System, *graph.NodeSplit) {
+	g, err := graph.FacebookLike(0.03, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.6, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := lumos.NewSystem(g, g, lumos.Config{
+		Task: lumos.Supervised, Backbone: lumos.GCN, Epochs: 1,
+		MCMCIterations: 30, Workers: workers, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, split
 }
 
 // BenchmarkMatMul measures the dense kernel at a typical layer size.

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"lumos/internal/core"
 	"lumos/internal/eval"
 	"lumos/internal/nn"
 )
@@ -33,9 +34,16 @@ func main() {
 		dss     = flag.String("datasets", "facebook,lastfm", "comma-separated datasets: facebook,lastfm")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed    = flag.Int64("seed", 42, "experiment seed")
+		workers = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
+		sched   = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
+		stale   = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
 	)
 	flag.Parse()
 
+	schedMode, err := core.ParseSched(*sched)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	opts := eval.Options{
 		FacebookScale:  *fbScale,
 		LastFMScale:    *lfScale,
@@ -43,6 +51,9 @@ func main() {
 		Epsilon:        *eps,
 		MCMCIterations: *mcmc,
 		SecureCompare:  *secure,
+		Workers:        *workers,
+		Sched:          schedMode,
+		Staleness:      *stale,
 		Seed:           *seed,
 	}
 	for _, b := range strings.Split(*bbs, ",") {

@@ -35,8 +35,16 @@ func main() {
 		noTT     = flag.Bool("no-tree-trimming", false, "ablation: disable tree trimming")
 		seed     = flag.Int64("seed", 7, "run seed")
 		save     = flag.String("save", "", "write trained model parameters to this file")
+		workers  = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
+		sched    = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
+		stale    = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
 	)
 	flag.Parse()
+
+	schedMode, err := core.ParseSched(*sched)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	g, err := loadDataset(*dataset, *scale, *seed)
 	check(err)
@@ -47,6 +55,7 @@ func main() {
 	cfg := core.Config{
 		Epsilon: *eps, Epochs: *epochs, MCMCIterations: *mcmc,
 		SecureCompare: *secure, DisableVirtualNodes: *noVN, DisableTreeTrimming: *noTT,
+		Workers: *workers, Sched: schedMode, Staleness: *stale,
 		Seed: *seed,
 	}
 	switch strings.ToLower(*backbone) {

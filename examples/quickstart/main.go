@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -12,11 +13,19 @@ import (
 )
 
 func main() {
-	// A small power-law social graph: 300 devices, 2 classes.
+	var (
+		n      = flag.Int("n", 300, "number of devices")
+		m      = flag.Int("m", 1800, "number of edges")
+		epochs = flag.Int("epochs", 40, "training epochs")
+		mcmc   = flag.Int("mcmc", 80, "MCMC tree-trimming iterations")
+	)
+	flag.Parse()
+
+	// A small power-law social graph, 2 classes.
 	g, err := lumos.Generate(lumos.GenConfig{
 		Name:       "quickstart",
-		N:          300,
-		M:          1800,
+		N:          *n,
+		M:          *m,
 		Classes:    2,
 		FeatureDim: 32,
 		Seed:       1,
@@ -38,8 +47,8 @@ func main() {
 	sys, err := lumos.NewSystem(g, g, lumos.Config{
 		Task:           lumos.Supervised,
 		Backbone:       lumos.GCN,
-		Epochs:         40,
-		MCMCIterations: 80,
+		Epochs:         *epochs,
+		MCMCIterations: *mcmc,
 		Seed:           1,
 	})
 	if err != nil {

@@ -96,11 +96,43 @@ func (v *Value) Backward() {
 	if v.Data.Rows() != 1 || v.Data.Cols() != 1 {
 		panic(fmt.Sprintf("autodiff: Backward on non-scalar %dx%d value", v.Data.Rows(), v.Data.Cols()))
 	}
-	order := topoSort(v)
 	if v.Grad == nil {
 		v.Grad = tensor.New(1, 1)
 	}
 	v.Grad.Set(0, 0, v.Grad.At(0, 0)+1)
+	v.propagate()
+}
+
+// BackwardWithGradient seeds the receiver with the given upstream gradient
+// dL/dv (same shape as v.Data) and propagates it to every reachable Var,
+// accumulating into their Grad. It generalizes Backward to non-scalar roots,
+// which is what lets a large graph be cut at an intermediate value: run
+// Backward on the downstream piece, read the cut point's Grad, and replay it
+// here as the seed of the upstream piece.
+//
+// Reentrancy: BackwardWithGradient (and Backward) may run concurrently on
+// different roots provided the reachable gradient-requiring subgraphs are
+// disjoint — gradient accumulation writes only to Values inside the
+// traversed subgraph. Sharing a Var between two concurrently differentiated
+// graphs is a data race; give each graph its own leaf (sharing the
+// underlying matrix data is fine) and reduce the gradient buffers
+// afterwards.
+func (v *Value) BackwardWithGradient(seed *tensor.Matrix) {
+	if !v.requiresGrad {
+		return
+	}
+	if seed.Rows() != v.Data.Rows() || seed.Cols() != v.Data.Cols() {
+		panic(fmt.Sprintf("autodiff: BackwardWithGradient seed %dx%d for %dx%d value",
+			seed.Rows(), seed.Cols(), v.Data.Rows(), v.Data.Cols()))
+	}
+	v.accum(seed)
+	v.propagate()
+}
+
+// propagate runs the backward closures of the receiver's reachable subgraph
+// in reverse topological order. The receiver's Grad must already be seeded.
+func (v *Value) propagate() {
+	order := topoSort(v)
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		if n.Grad != nil && n.backFn != nil {

@@ -3,6 +3,7 @@ package autodiff
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"lumos/internal/tensor"
@@ -284,5 +285,89 @@ func TestDiamondGraphGradient(t *testing.T) {
 	loss.Backward()
 	if got := a.Grad.At(0, 0); math.Abs(got-8) > 1e-12 {
 		t.Fatalf("diamond grad = %v, want 8", got)
+	}
+}
+
+func TestBackwardWithGradientMatchesSplitBackward(t *testing.T) {
+	// Differentiating loss = sum(relu(x·W)) in one piece must agree with
+	// cutting the graph at h = relu(x·W): backward the downstream piece from
+	// a fresh leaf sharing h's data, then replay the leaf's gradient through
+	// the upstream piece with BackwardWithGradient.
+	rng := rand.New(rand.NewSource(21))
+	x := Const(tensor.Uniform(5, 4, -1, 1, rng))
+	wData := tensor.Uniform(4, 3, -1, 1, rng)
+
+	whole := Var(wData.Clone())
+	SumAll(ReLU(MatMul(x, whole))).Backward()
+
+	split := Var(wData.Clone())
+	h := ReLU(MatMul(x, split))
+	cut := Var(h.Data)
+	SumAll(cut).Backward()
+	h.BackwardWithGradient(cut.Grad)
+
+	if !tensor.ApproxEqual(whole.Grad, split.Grad, 1e-12) {
+		t.Fatalf("split backward grad %v != whole grad %v", split.Grad, whole.Grad)
+	}
+}
+
+func TestBackwardWithGradientSeedScaling(t *testing.T) {
+	// Seeding with 2·dL/dv must double the leaf gradients.
+	a := Var(tensor.FromRows([][]float64{{3}}))
+	out := MulElem(a, a) // d(out)/da = 2a = 6
+	out.BackwardWithGradient(tensor.FromRows([][]float64{{2}}))
+	if got := a.Grad.At(0, 0); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("seeded grad = %v, want 12", got)
+	}
+}
+
+func TestBackwardWithGradientNoGradRoot(t *testing.T) {
+	// A constant root has no gradient path; the call must be a no-op.
+	c := Const(tensor.FromRows([][]float64{{1, 2}}))
+	c.BackwardWithGradient(tensor.FromRows([][]float64{{1, 1}}))
+	if c.Grad != nil {
+		t.Fatal("gradient materialized on a constant")
+	}
+}
+
+func TestBackwardWithGradientShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on seed shape mismatch")
+		}
+	}()
+	a := Var(tensor.New(2, 2))
+	a.BackwardWithGradient(tensor.New(1, 2))
+}
+
+func TestConcurrentBackwardDisjointGraphs(t *testing.T) {
+	// The reentrancy contract: graphs that share only underlying matrix
+	// data (not Values) may be differentiated concurrently, and the summed
+	// gradients match a serial run. Run with -race to make this a real test.
+	rng := rand.New(rand.NewSource(22))
+	x := Const(tensor.Uniform(20, 8, -1, 1, rng))
+	wData := tensor.Uniform(8, 4, -1, 1, rng)
+
+	serial := Var(wData.Clone())
+	SumAll(ReLU(MatMul(x, serial))).Backward()
+
+	const workers = 8
+	views := make([]*Value, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		views[i] = Var(wData)
+		wg.Add(1)
+		go func(v *Value) {
+			defer wg.Done()
+			SumAll(ReLU(MatMul(x, v))).Backward()
+		}(views[i])
+	}
+	wg.Wait()
+	sum := tensor.New(8, 4)
+	for _, v := range views {
+		tensor.AddInPlace(sum, v.Grad)
+	}
+	if !tensor.ApproxEqual(sum, tensor.Scale(serial.Grad, workers), 1e-9) {
+		t.Fatal("concurrent disjoint backward diverged from serial")
 	}
 }

@@ -12,9 +12,50 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"lumos/internal/nn"
 )
+
+// Sched selects how device updates are scheduled within a training round.
+type Sched int
+
+const (
+	// SchedSync is the paper's lockstep protocol: every epoch waits for all
+	// devices, gradients are aggregated synchronously, and the epoch time is
+	// dominated by the straggler.
+	SchedSync Sched = iota
+	// SchedAsync is staleness-bounded asynchronous scheduling: straggler
+	// shards may apply their gradient contributions up to Config.Staleness
+	// epochs late, and the cost model amortizes their compute accordingly.
+	// Scheduling is simulated deterministically (delays derive from the
+	// shard workload ranking), so training remains reproducible.
+	SchedAsync
+)
+
+// String names the scheduling mode.
+func (s Sched) String() string {
+	switch s {
+	case SchedSync:
+		return "sync"
+	case SchedAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("Sched(%d)", int(s))
+	}
+}
+
+// ParseSched parses a scheduling-mode name as used in CLI flags.
+func ParseSched(name string) (Sched, error) {
+	switch name {
+	case "sync":
+		return SchedSync, nil
+	case "async", "staleness":
+		return SchedAsync, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheduling mode %q (want sync|async)", name)
+	}
+}
 
 // Task selects the training objective.
 type Task int
@@ -92,8 +133,32 @@ type Config struct {
 	// features after LDP recovery (see buildForest).
 	DisableRowNorm bool
 
+	// Workers sizes the training engine's worker pool (default
+	// runtime.NumCPU()). It affects wall-clock time only: losses and trained
+	// weights are bit-identical for every Workers value under a fixed Seed,
+	// because shard results are reduced in a fixed tree order and every
+	// shard owns its private RNG stream.
+	Workers int
+	// Shards is the number of device shards the forest is partitioned into
+	// (contiguous device ranges balanced by tree size). 0 picks
+	// min(N, DefaultShards). Deliberately independent of Workers so the
+	// computation graph — and therefore the bits — never depends on the
+	// hardware it runs on.
+	Shards int
+	// Sched selects synchronous (default, the paper's protocol) or
+	// staleness-bounded asynchronous round scheduling.
+	Sched Sched
+	// Staleness bounds, in epochs, how late a straggler shard's gradient may
+	// be applied under SchedAsync (default 1 when async; ignored when sync).
+	Staleness int
+
 	Seed int64
 }
+
+// DefaultShards is the forest partition count used when Config.Shards is 0
+// (capped at the device count). It is a fixed constant — not a function of
+// the local CPU count — so that results are reproducible across machines.
+const DefaultShards = 32
 
 // Validate fills the paper's defaults and checks ranges.
 func (c *Config) Validate() error {
@@ -150,6 +215,32 @@ func (c *Config) Validate() error {
 	}
 	if c.NegPerPos < 0 {
 		return fmt.Errorf("core: negative NegPerPos %d", c.NegPerPos)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
+	switch c.Sched {
+	case SchedSync:
+		// Staleness is meaningless under lockstep scheduling; reject instead
+		// of silently ignoring a knob the caller thinks is live.
+		if c.Staleness != 0 {
+			return fmt.Errorf("core: Staleness=%d requires Sched=SchedAsync", c.Staleness)
+		}
+	case SchedAsync:
+		if c.Staleness == 0 {
+			c.Staleness = 1
+		}
+		if c.Staleness < 0 {
+			return fmt.Errorf("core: negative staleness bound %d", c.Staleness)
+		}
+	default:
+		return fmt.Errorf("core: unknown scheduling mode %v", c.Sched)
 	}
 	if c.Hidden < 0 || c.OutDim < 0 || c.Layers < 0 || c.Heads < 0 {
 		return fmt.Errorf("core: negative model dimension")

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"lumos/internal/autodiff"
+	"lumos/internal/nn"
+	"lumos/internal/tensor"
+	"lumos/internal/tree"
+)
+
+// This file implements the device-parallel training engine. The forest is
+// block-diagonal — every device tree is its own connected component — so an
+// epoch decomposes into independent per-shard local passes plus a small
+// serial combine:
+//
+//  1. parallel: each shard (a contiguous run of device trees) runs the
+//     shared encoder over its sub-forest and pools its leaves into a partial
+//     per-vertex embedding P_s (paper Eq. 31 restricted to the shard's
+//     leaves);
+//  2. serial: pooled = Σ_s P_s in shard order, then the task loss;
+//  3. parallel: each shard replays the loss gradient of its partial through
+//     its own subgraph, accumulating into shard-private views of the shared
+//     weights (nn.CloneShared);
+//  4. serial: shard gradients are reduced into the real parameters in shard
+//     order and the optimizer steps.
+//
+// Determinism: the shard partition depends only on Config.Shards (never on
+// Workers or the machine), every shard owns a private RNG stream split from
+// the root seed, all cross-shard reductions (steps 2 and 4) run serially in
+// fixed shard order, and parallel phases write only shard-local state. So
+// Workers=1 and Workers=N produce bit-identical losses and weights.
+//
+// Under Config.Sched == SchedAsync, step 4 additionally delays the gradient
+// contribution of straggler shards (the heaviest trees) by up to
+// Config.Staleness epochs, simulating staleness-bounded asynchronous
+// aggregation. The delay schedule derives from the shard workload ranking,
+// so async runs are exactly as reproducible as sync ones.
+
+// shard is a contiguous run of device trees [lo, hi), flattened into its own
+// message-passing graph with shard-local row indices.
+type shard struct {
+	lo, hi int
+	conv   *nn.ConvGraph
+	x      *tensor.Matrix
+	// leafLocal[i] is the shard-local row of the shard's i-th leaf,
+	// leafVertex[i] its global vertex, poolCoef[i] the Eq. 31 averaging
+	// coefficient (identical to the corresponding Forest.PoolCoef entry).
+	leafLocal  []int
+	leafVertex []int
+	poolCoef   []float64
+	// work is the shard's node count — its compute weight, used both to
+	// balance the partition and to rank stragglers for async scheduling.
+	work int
+}
+
+// delayedGrads is one shard's encoder gradient, queued for application at
+// (or after) the release epoch.
+type delayedGrads struct {
+	release int
+	shard   int
+	grads   []*tensor.Matrix // aligned with Encoder.Params()
+}
+
+// engine executes training epochs over the sharded forest.
+type engine struct {
+	sys     *System
+	shards  []*shard
+	encs    []*nn.GNN    // per-shard shared-weight views of sys.Encoder
+	rngs    []*rand.Rand // per-shard dropout streams split from the root seed
+	workers int
+	delays  []int // per-shard staleness delay in epochs (all zero when sync)
+	queue   []delayedGrads
+	epoch   int
+}
+
+// newEngine shards the system's forest and prepares per-shard model views.
+func newEngine(s *System) *engine {
+	target := s.Cfg.Shards
+	if target == 0 {
+		target = DefaultShards
+	}
+	if target > s.G.N {
+		target = s.G.N
+	}
+	e := &engine{sys: s, workers: s.Cfg.Workers}
+	e.shards = buildShards(s.Forest, s.Trees, target)
+	for i := range e.shards {
+		e.encs = append(e.encs, s.Encoder.CloneShared())
+		e.rngs = append(e.rngs, rand.New(rand.NewSource(s.Cfg.Seed^(int64(i+1)*0x1f3d5b79a7c6e42d))))
+	}
+	staleness := 0
+	if s.Cfg.Sched == SchedAsync {
+		staleness = s.Cfg.Staleness
+	}
+	e.delays = shardDelays(e.shards, staleness)
+	return e
+}
+
+// buildShards partitions the trees into at most target contiguous shards,
+// balanced by node count, and flattens each into a shard-local graph. The
+// partition is a pure function of the forest shape — never of Workers.
+func buildShards(f *Forest, trees []*tree.Tree, target int) []*shard {
+	n := len(trees)
+	if target > n {
+		target = n
+	}
+	if target < 1 {
+		target = 1
+	}
+	shards := make([]*shard, 0, target)
+	leafIdx := 0
+	lo, nodesUsed := 0, 0
+	for si := 0; si < target; si++ {
+		remaining := target - si
+		hi := lo + 1
+		work := trees[lo].NumNodes
+		if si == target-1 {
+			hi = n
+			work = f.NumNodes - nodesUsed
+		} else {
+			budget := (f.NumNodes - nodesUsed) / remaining
+			for hi < n && n-hi > remaining-1 && work+trees[hi].NumNodes <= budget {
+				work += trees[hi].NumNodes
+				hi++
+			}
+		}
+		base := f.Offsets[lo]
+		end := f.NumNodes
+		if hi < n {
+			end = f.Offsets[hi]
+		}
+		rows := end - base
+		sh := &shard{lo: lo, hi: hi, work: work}
+		// A view, not a copy: shard rows are contiguous in the forest, and
+		// the forward pass only reads X, so all shards alias f.X safely.
+		sh.x = f.X.SliceRows(base, end)
+		var edges [][2]int
+		for v := lo; v < hi; v++ {
+			off := f.Offsets[v] - base
+			for _, e := range trees[v].Edges {
+				edges = append(edges, [2]int{off + e[0], off + e[1]})
+			}
+		}
+		sh.conv = nn.NewConvGraph(rows, edges)
+		// Forest leaf arrays ascend in row order, so each shard owns a
+		// contiguous slice of them.
+		for leafIdx < len(f.LeafRows) && f.LeafRows[leafIdx] < end {
+			sh.leafLocal = append(sh.leafLocal, f.LeafRows[leafIdx]-base)
+			sh.leafVertex = append(sh.leafVertex, f.LeafVertex[leafIdx])
+			sh.poolCoef = append(sh.poolCoef, f.PoolCoef[leafIdx])
+			leafIdx++
+		}
+		shards = append(shards, sh)
+		nodesUsed += work
+		lo = hi
+	}
+	return shards
+}
+
+// shardDelays assigns each shard its gradient-application delay: the
+// heaviest shard lags the full staleness bound, the next heaviest one epoch
+// less, and so on down to zero. Ties break by shard index, keeping the
+// schedule deterministic.
+func shardDelays(shards []*shard, staleness int) []int {
+	delays := make([]int, len(shards))
+	if staleness <= 0 {
+		return delays
+	}
+	order := make([]int, len(shards))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending work, ascending index — shard counts are
+	// small (≤ DefaultShards) and this avoids pulling in sort for one call.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if shards[a].work > shards[b].work || (shards[a].work == shards[b].work && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	for rank, s := range order {
+		if d := staleness - rank; d > 0 {
+			delays[s] = d
+		}
+	}
+	return delays
+}
+
+// parallel runs fn(i) for every shard index on the engine's worker pool.
+// Shard order of side effects is unconstrained; callers must only write
+// shard-local state.
+func (e *engine) parallel(fn func(i int)) {
+	w := e.workers
+	if w > len(e.shards) {
+		w = len(e.shards)
+	}
+	if w <= 1 {
+		for i := range e.shards {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.shards) {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forwardShards runs the shared encoder over every shard and pools each
+// shard's leaves into its partial per-vertex embedding P_s (N×OutDim). The
+// returned Values carry live autodiff graphs rooted in the shard's weight
+// views.
+func (e *engine) forwardShards(training bool) []*autodiff.Value {
+	parts := make([]*autodiff.Value, len(e.shards))
+	e.parallel(func(i int) {
+		sh := e.shards[i]
+		x := autodiff.Const(sh.x)
+		h := e.encs[i].Forward(sh.conv, x, training, e.rngs[i])
+		leaves := autodiff.Gather(h, sh.leafLocal)
+		scaled := autodiff.ScaleRows(leaves, sh.poolCoef)
+		parts[i] = autodiff.SegmentSum(scaled, sh.leafVertex, e.sys.G.N)
+	})
+	return parts
+}
+
+// forward returns the pooled per-vertex embeddings, combining shard partials
+// in fixed shard order.
+func (e *engine) forward(training bool) *autodiff.Value {
+	return autodiff.AddN(e.forwardShards(training)...)
+}
+
+// step runs one training epoch: parallel shard forward, serial loss over the
+// combined pooling, parallel shard backward, deterministic tree-ordered
+// gradient reduction (with staleness delays when async), optimizer step.
+// lossFn builds the scalar task loss from the pooled embeddings; any real
+// parameters it touches directly (e.g. the supervised head) get fresh
+// gradients via the serial phase. Returns the epoch loss.
+func (e *engine) step(lossFn func(pooled *autodiff.Value) *autodiff.Value) float64 {
+	s := e.sys
+	nn.ZeroGrad(s)
+
+	// Phase 1: parallel local forward + pool.
+	parts := e.forwardShards(true)
+
+	// Phase 2: serial combine and loss. Cutting the graph at each partial
+	// (a fresh leaf sharing the partial's data) keeps the expensive shard
+	// subgraphs out of this Backward; it stops at the cut leaves.
+	cuts := make([]*autodiff.Value, len(parts))
+	for i, p := range parts {
+		cuts[i] = autodiff.Var(p.Data)
+	}
+	pooled := autodiff.AddN(cuts...)
+	loss := lossFn(pooled)
+	loss.Backward()
+
+	// Phase 3: parallel shard backward, replaying each cut's gradient
+	// through the shard subgraph into the shard's private weight views.
+	e.parallel(func(i int) {
+		if g := cuts[i].Grad; g != nil {
+			parts[i].BackwardWithGradient(g)
+		}
+	})
+
+	// Phase 4: deterministic reduction. Detach every shard's view gradients
+	// and queue them; sync mode releases immediately, async delays
+	// stragglers.
+	for i := range e.shards {
+		views := e.encs[i].Params()
+		grads := make([]*tensor.Matrix, len(views))
+		for j, vp := range views {
+			grads[j] = vp.V.Grad
+			vp.V.Grad = nil
+		}
+		e.queue = append(e.queue, delayedGrads{release: e.epoch + e.delays[i], shard: i, grads: grads})
+	}
+	e.applyDue(e.epoch)
+	s.opt.Step(s.Params())
+	e.epoch++
+	return loss.Scalar()
+}
+
+// applyDue folds every queued gradient whose release epoch has arrived into
+// the real encoder parameters, in queue order (compute epoch, then shard) —
+// a fixed order, so reduction stays bit-deterministic.
+func (e *engine) applyDue(epoch int) {
+	realParams := e.sys.Encoder.Params()
+	kept := e.queue[:0]
+	for _, dg := range e.queue {
+		if dg.release > epoch {
+			kept = append(kept, dg)
+			continue
+		}
+		for j, g := range dg.grads {
+			if g == nil {
+				continue
+			}
+			p := realParams[j].V
+			if p.Grad == nil {
+				p.Grad = tensor.New(p.Data.Rows(), p.Data.Cols())
+			}
+			tensor.SumInto(p.Grad, g)
+		}
+	}
+	e.queue = kept
+}
+
+// drain applies all still-pending stale gradients in one final synchronous
+// step, mirroring the terminal barrier of a real bounded-staleness
+// deployment. No-op under sync scheduling (the queue is always empty).
+func (e *engine) drain() {
+	if len(e.queue) == 0 {
+		return
+	}
+	s := e.sys
+	nn.ZeroGrad(s)
+	e.applyDue(math.MaxInt)
+	s.opt.Step(s.Params())
+}

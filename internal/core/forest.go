@@ -7,17 +7,16 @@ import (
 	"lumos/internal/fed"
 	"lumos/internal/graph"
 	"lumos/internal/ldp"
-	"lumos/internal/nn"
 	"lumos/internal/tensor"
 	"lumos/internal/tree"
 )
 
-// Forest is the block-diagonal union of all device trees, ready for message
-// passing on a single autodiff tape. It also carries the POOL indexing that
-// averages the embeddings of all leaves representing the same global vertex
-// (paper Eq. 31).
+// Forest is the block-diagonal union of all device trees, plus the POOL
+// indexing that averages the embeddings of all leaves representing the same
+// global vertex (paper Eq. 31). The training engine slices it into
+// contiguous per-device shards, each with its own message-passing graph
+// (see engine.go); the forest itself only carries the flattened layout.
 type Forest struct {
-	Conv *nn.ConvGraph
 	// X holds the initial node embeddings: the device's own (un-noised)
 	// feature on its center leaves, LDP-recovered features on neighbor
 	// leaves, zeros on virtual nodes (paper Eq. 25).
@@ -127,13 +126,9 @@ func buildForest(g *graph.Graph, trees []*tree.Tree, devices []*fed.Device,
 	}
 	f.NumNodes = total
 	f.X = tensor.New(total, d)
-	var edges [][2]int
 	leafCount := make([]int, g.N)
 	for v, t := range trees {
 		off := f.Offsets[v]
-		for _, e := range t.Edges {
-			edges = append(edges, [2]int{off + e[0], off + e[1]})
-		}
 		for i := 0; i < t.NumNodes; i++ {
 			gv := t.Vertex[i]
 			if gv < 0 {
@@ -160,8 +155,6 @@ func buildForest(g *graph.Graph, trees []*tree.Tree, devices []*fed.Device,
 			normalizeRow(f.X.Row(row))
 		}
 	}
-	f.Conv = nn.NewConvGraph(total, edges)
-
 	f.PoolCoef = make([]float64, len(f.LeafRows))
 	for i, gv := range f.LeafVertex {
 		if leafCount[gv] == 0 {

@@ -33,7 +33,7 @@ type System struct {
 	Encoder *nn.GNN
 	Head    *nn.Linear // supervised head; nil for unsupervised
 	opt     *nn.Adam
-	rng     *rand.Rand
+	eng     *engine
 }
 
 // NewSystem builds a Lumos system: devices are instantiated, the tree
@@ -60,7 +60,6 @@ func NewSystem(g, full *graph.Graph, cfg Config) (*System, error) {
 		Devices: fed.NewDevices(g, cfg.Seed),
 		Server:  fed.NewServer(cfg.Seed),
 		Net:     fed.NewNetwork(g.N),
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x4c756d6f73)),
 	}
 
 	// Tree constructor (§V).
@@ -116,6 +115,10 @@ func NewSystem(g, full *graph.Graph, cfg Config) (*System, error) {
 	}
 	s.opt = nn.NewAdam(cfg.LearningRate)
 	s.opt.WeightDecay = cfg.WeightDecay
+
+	// Device-parallel training engine: shard the forest and prepare
+	// per-shard weight views and RNG streams.
+	s.eng = newEngine(s)
 	return s, nil
 }
 

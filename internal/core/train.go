@@ -28,14 +28,12 @@ type TrainStats struct {
 	MeasuredTime time.Duration
 }
 
-// forward runs the shared encoder over the forest and pools leaf embeddings
-// into per-vertex embeddings (paper Eq. 31, average pooling).
+// forward runs the shared encoder over the sharded forest and pools leaf
+// embeddings into per-vertex embeddings (paper Eq. 31, average pooling).
+// Shards execute on the engine's worker pool; their partial poolings are
+// combined in fixed shard order, so the result does not depend on Workers.
 func (s *System) forward(training bool) *autodiff.Value {
-	x := autodiff.Const(s.Forest.X)
-	h := s.Encoder.Forward(s.Forest.Conv, x, training, s.rng)
-	leaves := autodiff.Gather(h, s.Forest.LeafRows)
-	scaled := autodiff.ScaleRows(leaves, s.Forest.PoolCoef)
-	return autodiff.SegmentSum(scaled, s.Forest.LeafVertex, s.G.N)
+	return s.eng.forward(training)
 }
 
 // TrainSupervised runs cfg.Epochs of supervised training: every device with
@@ -58,14 +56,12 @@ func (s *System) TrainSupervised(split *graph.NodeSplit) (*TrainStats, error) {
 	start := time.Now()
 	for epoch := 0; epoch < s.Cfg.Epochs; epoch++ {
 		before := s.Net.Snapshot()
-		pooled := s.forward(true)
-		logits := s.Head.Forward(pooled)
-		loss := autodiff.SoftmaxCrossEntropy(logits, s.G.Labels, weights)
-		nn.ZeroGrad(s)
-		loss.Backward()
-		s.opt.Step(s.Params())
+		loss := s.eng.step(func(pooled *autodiff.Value) *autodiff.Value {
+			logits := s.Head.Forward(pooled)
+			return autodiff.SoftmaxCrossEntropy(logits, s.G.Labels, weights)
+		})
 		s.accountEpochTraffic()
-		stats.Losses = append(stats.Losses, loss.Scalar())
+		stats.Losses = append(stats.Losses, loss)
 		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
 		// Validation-based model selection: each device evaluates its own
 		// prediction locally, so this costs one extra (eval-mode) forward.
@@ -76,6 +72,7 @@ func (s *System) TrainSupervised(split *graph.NodeSplit) (*TrainStats, error) {
 			}
 		}
 	}
+	s.eng.drain()
 	if bestSnap != nil {
 		nn.Restore(s, bestSnap)
 	}
@@ -98,19 +95,17 @@ func (s *System) TrainUnsupervised(val *graph.EdgeSplit) (*TrainStats, error) {
 	start := time.Now()
 	for epoch := 0; epoch < s.Cfg.Epochs; epoch++ {
 		before := s.Net.Snapshot()
-		pooled := s.forward(true)
 		idxU, idxV, ys, negCount := s.samplePairs()
 		if len(idxU) == 0 {
 			return nil, fmt.Errorf("core: no training pairs (empty retained sets)")
 		}
-		scores := autodiff.PairDot(pooled, idxU, idxV)
-		loss := autodiff.LogisticLoss(scores, ys)
-		nn.ZeroGrad(s)
-		loss.Backward()
-		s.opt.Step(s.Params())
+		loss := s.eng.step(func(pooled *autodiff.Value) *autodiff.Value {
+			scores := autodiff.PairDot(pooled, idxU, idxV)
+			return autodiff.LogisticLoss(scores, ys)
+		})
 		s.accountEpochTraffic()
 		s.accountNegSampling(negCount)
-		stats.Losses = append(stats.Losses, loss.Scalar())
+		stats.Losses = append(stats.Losses, loss)
 		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
 		if val != nil && len(val.Val) > 0 && (epoch%s.Cfg.EvalEvery == 0 || epoch == s.Cfg.Epochs-1) {
 			if auc, err := s.EvaluateAUC(val.Val, val.ValNeg); err == nil && auc > bestVal {
@@ -119,6 +114,7 @@ func (s *System) TrainUnsupervised(val *graph.EdgeSplit) (*TrainStats, error) {
 			}
 		}
 	}
+	s.eng.drain()
 	if bestSnap != nil {
 		nn.Restore(s, bestSnap)
 	}
@@ -212,7 +208,13 @@ func (s *System) finishStats(stats *TrainStats) {
 		rounds += 2
 	}
 	model := fed.DefaultCostModel()
-	stats.SimEpochTime = model.EpochTime(s.Balanced.Workloads, rounds, maxDeviceBytes)
+	if s.Cfg.Sched == SchedAsync {
+		// Bounded-staleness scheduling frees fast devices from the per-epoch
+		// straggler barrier; the cost model amortizes the straggler instead.
+		stats.SimEpochTime = model.EpochTimeAsync(s.Balanced.Workloads, rounds, maxDeviceBytes, s.Cfg.Staleness)
+	} else {
+		stats.SimEpochTime = model.EpochTime(s.Balanced.Workloads, rounds, maxDeviceBytes)
+	}
 }
 
 // Embeddings returns the pooled per-vertex embeddings in evaluation mode.

@@ -46,13 +46,13 @@ func RunFig3(opts Options) ([]Fig3Result, error) {
 		for _, bb := range opts.Backbones {
 			r := Fig3Result{Dataset: ds, Backbone: bb.String()}
 
-			sys, err := core.NewSystem(g, g, core.Config{
+			sys, err := core.NewSystem(g, g, opts.engineCfg(core.Config{
 				Task: core.Supervised, Backbone: bb,
 				Epsilon: opts.Epsilon, Epochs: opts.Epochs,
 				MCMCIterations: opts.mcmcItersFor(ds),
 				SecureCompare:  opts.SecureCompare,
 				Seed:           opts.Seed,
-			})
+			}))
 			if err != nil {
 				return nil, fmt.Errorf("eval: fig3 lumos %s/%s: %w", ds, bb, err)
 			}
@@ -147,13 +147,13 @@ func RunFig4(opts Options) ([]Fig4Result, error) {
 		for _, bb := range opts.Backbones {
 			r := Fig4Result{Dataset: ds, Backbone: bb.String()}
 
-			sys, err := core.NewSystem(es.TrainGraph, g, core.Config{
+			sys, err := core.NewSystem(es.TrainGraph, g, opts.engineCfg(core.Config{
 				Task: core.Unsupervised, Backbone: bb,
 				Epsilon: opts.Epsilon, Epochs: opts.Epochs,
 				MCMCIterations: opts.mcmcItersFor(ds),
 				SecureCompare:  opts.SecureCompare,
 				Seed:           opts.Seed,
-			})
+			}))
 			if err != nil {
 				return nil, fmt.Errorf("eval: fig4 lumos %s/%s: %w", ds, bb, err)
 			}
@@ -249,12 +249,12 @@ func RunFig5(opts Options) ([]Fig5Result, error) {
 		for _, eps := range Fig5Epsilons {
 			r := Fig5Result{Dataset: ds, Epsilon: eps}
 			for _, raw := range []bool{false, true} {
-				sup, err := core.NewSystem(g, g, core.Config{
+				sup, err := core.NewSystem(g, g, opts.engineCfg(core.Config{
 					Task: core.Supervised, Backbone: bb, Epsilon: eps,
 					Epochs: opts.Epochs, MCMCIterations: opts.mcmcItersFor(ds),
 					SecureCompare: opts.SecureCompare, DisableRowNorm: raw,
 					Seed: opts.Seed,
-				})
+				}))
 				if err != nil {
 					return nil, err
 				}
@@ -266,12 +266,12 @@ func RunFig5(opts Options) ([]Fig5Result, error) {
 					return nil, err
 				}
 
-				uns, err := core.NewSystem(es.TrainGraph, g, core.Config{
+				uns, err := core.NewSystem(es.TrainGraph, g, opts.engineCfg(core.Config{
 					Task: core.Unsupervised, Backbone: bb, Epsilon: eps,
 					Epochs: opts.Epochs, MCMCIterations: opts.mcmcItersFor(ds),
 					SecureCompare: opts.SecureCompare, DisableRowNorm: raw,
 					Seed: opts.Seed,
-				})
+				}))
 				if err != nil {
 					return nil, err
 				}
@@ -347,12 +347,12 @@ func RunFig6(opts Options) ([]Fig6Result, error) {
 		for _, bb := range opts.Backbones {
 			r := Fig6Result{Dataset: ds, Backbone: bb.String()}
 			for vi, v := range variants {
-				cfgBase := core.Config{
+				cfgBase := opts.engineCfg(core.Config{
 					Backbone: bb, Epsilon: opts.Epsilon, Epochs: opts.Epochs,
 					MCMCIterations: opts.mcmcItersFor(ds), SecureCompare: opts.SecureCompare,
 					DisableVirtualNodes: v.noVN, DisableTreeTrimming: v.noTT,
 					Seed: opts.Seed,
-				}
+				})
 				supCfg := cfgBase
 				supCfg.Task = core.Supervised
 				sup, err := core.NewSystem(g, g, supCfg)
@@ -535,12 +535,12 @@ func RunFig8(opts Options) ([]Fig8Result, error) {
 		for _, task := range []core.Task{core.Supervised, core.Unsupervised} {
 			r := Fig8Result{Dataset: ds, Task: task.String()}
 			for _, noTT := range []bool{false, true} {
-				cfg := core.Config{
+				cfg := opts.engineCfg(core.Config{
 					Task: task, Backbone: bb, Epsilon: opts.Epsilon,
 					Epochs: opts.Epochs, MCMCIterations: opts.mcmcItersFor(ds),
 					SecureCompare: opts.SecureCompare, DisableTreeTrimming: noTT,
 					Seed: opts.Seed,
-				}
+				})
 				var stats *core.TrainStats
 				if task == core.Supervised {
 					sys, err := core.NewSystem(g, g, cfg)

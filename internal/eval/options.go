@@ -10,6 +10,7 @@ package eval
 import (
 	"fmt"
 
+	"lumos/internal/core"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
 )
@@ -35,7 +36,15 @@ type Options struct {
 	Backbones []nn.Backbone
 	// Datasets to evaluate (default both presets).
 	Datasets []string
-	Seed     int64
+	// Workers sizes every trainer's worker pool (0 = one per CPU). Results
+	// are bit-identical for any value; this only changes wall-clock time.
+	Workers int
+	// Sched selects the round scheduling mode for the Lumos systems
+	// (default core.SchedSync, the paper's lockstep protocol).
+	Sched core.Sched
+	// Staleness is the async gradient-staleness bound (SchedAsync only).
+	Staleness int
+	Seed      int64
 }
 
 // Dataset names used throughout the harness.
@@ -100,4 +109,14 @@ func (o *Options) LoadDataset(name string) (*graph.Graph, error) {
 // caller asks for paper settings; otherwise the configured count is used.
 func (o *Options) mcmcItersFor(dataset string) int {
 	return o.MCMCIterations
+}
+
+// engineCfg copies the training-engine knobs (worker pool size, scheduling
+// mode, staleness bound) into a system config. Every runner routes its
+// core.Config through this so the whole suite honors the engine options.
+func (o *Options) engineCfg(cfg core.Config) core.Config {
+	cfg.Workers = o.Workers
+	cfg.Sched = o.Sched
+	cfg.Staleness = o.Staleness
+	return cfg
 }

@@ -163,3 +163,24 @@ func TestServerDeterminism(t *testing.T) {
 		t.Fatal("server randomness not reproducible")
 	}
 }
+
+func TestCostModelAsyncAmortizesStraggler(t *testing.T) {
+	m := DefaultCostModel()
+	workloads := []int{1, 1, 1, 1, 100} // one heavy straggler
+	sync := m.EpochTime(workloads, 3, 1000)
+	async := m.EpochTimeAsync(workloads, 3, 1000, 4)
+	if async >= sync {
+		t.Fatalf("async %v not below sync %v", async, sync)
+	}
+	// staleness=0 must degenerate to the synchronous estimate.
+	if got := m.EpochTimeAsync(workloads, 3, 1000, 0); got != sync {
+		t.Fatalf("staleness=0 async %v != sync %v", got, sync)
+	}
+	// The fleet can't beat its mean device: with a huge staleness budget the
+	// estimate floors at the mean workload, not zero.
+	floor := m.EpochTimeAsync(workloads, 3, 1000, 1<<20)
+	min := m.EpochTime([]int{21}, 3, 1000) // mean workload is 104/5 = 20.8
+	if floor <= 0 || floor > min {
+		t.Fatalf("async floor %v outside (0, %v]", floor, min)
+	}
+}

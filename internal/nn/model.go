@@ -142,6 +142,25 @@ func (m *GNN) Params() []*Param {
 	return ps
 }
 
+// CloneShared returns a view of the encoder whose parameters share m's
+// matrices but own independent gradient buffers (see ShareParam). The view's
+// Params() come back in the same order as m's, so per-view gradients can be
+// reduced positionally.
+func (m *GNN) CloneShared() *GNN {
+	c := &GNN{Cfg: m.Cfg}
+	for _, l := range m.layers {
+		switch t := l.(type) {
+		case gcnAdapter:
+			c.layers = append(c.layers, gcnAdapter{t.GCNConv.CloneShared()})
+		case gatAdapter:
+			c.layers = append(c.layers, gatAdapter{t.GATConv.CloneShared()})
+		default:
+			panic(fmt.Sprintf("nn: CloneShared: unknown layer type %T", l))
+		}
+	}
+	return c
+}
+
 // Classifier couples a GNN encoder with a linear decoding head, the
 // supervised architecture of §VI-C(a): z_u = LINEAR(h_u), softmax, CE loss.
 type Classifier struct {

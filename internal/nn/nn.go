@@ -41,8 +41,21 @@ func CountParams(m Module) int {
 	return n
 }
 
+// ShareParam returns a view of p whose Value shares p's underlying matrix
+// but owns an independent gradient buffer. Forward passes through the view
+// read the live weights; backward passes accumulate into the view's Grad
+// without touching p's. This is the building block of the device-parallel
+// trainer: each worker differentiates through its own view and the shard
+// gradients are reduced deterministically afterwards.
+func ShareParam(p *Param) *Param {
+	return &Param{Name: p.Name, V: autodiff.Var(p.V.Data)}
+}
+
 // Snapshot deep-copies all parameter matrices (for validation-based model
-// selection or rollback).
+// selection or rollback). Because shared views created with ShareParam (or
+// the CloneShared methods) alias the same matrices, Restore-ing a snapshot
+// is immediately visible to every view; neither call may overlap a
+// concurrent forward or backward pass through those views.
 func Snapshot(m Module) []*tensor.Matrix {
 	params := m.Params()
 	out := make([]*tensor.Matrix, len(params))
@@ -90,6 +103,12 @@ func (l *Linear) Forward(x *autodiff.Value) *autodiff.Value {
 
 // Params implements Module.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// CloneShared returns a view of the layer whose parameters share l's
+// matrices but own independent gradient buffers (see ShareParam).
+func (l *Linear) CloneShared() *Linear {
+	return &Linear{In: l.In, Out: l.Out, W: ShareParam(l.W), B: ShareParam(l.B)}
+}
 
 // ---------------------------------------------------------------------------
 // ConvGraph: the message-passing structure consumed by GCN/GAT layers
@@ -184,6 +203,12 @@ func (l *GCNConv) Forward(g *ConvGraph, x *autodiff.Value) *autodiff.Value {
 // Params implements Module.
 func (l *GCNConv) Params() []*Param { return []*Param{l.W, l.B} }
 
+// CloneShared returns a view of the layer whose parameters share l's
+// matrices but own independent gradient buffers (see ShareParam).
+func (l *GCNConv) CloneShared() *GCNConv {
+	return &GCNConv{In: l.In, Out: l.Out, W: ShareParam(l.W), B: ShareParam(l.B)}
+}
+
 // ---------------------------------------------------------------------------
 // GATConv
 // ---------------------------------------------------------------------------
@@ -263,4 +288,21 @@ func (l *GATConv) Params() []*Param {
 		ps = append(ps, l.W[h], l.AL[h], l.AR[h])
 	}
 	return append(ps, l.B)
+}
+
+// CloneShared returns a view of the layer whose parameters share l's
+// matrices but own independent gradient buffers (see ShareParam).
+func (l *GATConv) CloneShared() *GATConv {
+	c := &GATConv{
+		In: l.In, OutPerHead: l.OutPerHead, Heads: l.Heads,
+		Concat:        l.Concat,
+		NegativeSlope: l.NegativeSlope,
+		B:             ShareParam(l.B),
+	}
+	for h := 0; h < l.Heads; h++ {
+		c.W = append(c.W, ShareParam(l.W[h]))
+		c.AL = append(c.AL, ShareParam(l.AL[h]))
+		c.AR = append(c.AR, ShareParam(l.AR[h]))
+	}
+	return c
 }

@@ -295,3 +295,61 @@ func TestLoadParamsBadMagic(t *testing.T) {
 		t.Fatal("expected bad magic error")
 	}
 }
+
+func TestCloneSharedSharesWeightsSplitsGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	enc, err := NewGNN(GNNConfig{Backbone: GAT, InDim: 6, Hidden: 8, OutDim: 4, Layers: 2, Heads: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := enc.CloneShared()
+	ps, vs := enc.Params(), view.Params()
+	if len(ps) != len(vs) {
+		t.Fatalf("view has %d params, original %d", len(vs), len(ps))
+	}
+	for i := range ps {
+		if vs[i].Name != ps[i].Name {
+			t.Fatalf("param %d name %q != %q: order not preserved", i, vs[i].Name, ps[i].Name)
+		}
+		if vs[i].V == ps[i].V {
+			t.Fatalf("param %q: view shares the Value, not just the data", ps[i].Name)
+		}
+		if vs[i].V.Data != ps[i].V.Data {
+			t.Fatalf("param %q: view does not alias the weight matrix", ps[i].Name)
+		}
+	}
+
+	// A backward through the view must leave the original's grads untouched.
+	g := NewConvGraph(3, [][2]int{{0, 1}, {1, 2}})
+	x := autodiff.Const(tensor.Uniform(3, 6, -1, 1, rng))
+	out := view.Forward(g, x, false, rng)
+	autodiff.SumAll(out).Backward()
+	for i := range ps {
+		if ps[i].V.Grad != nil {
+			t.Fatalf("param %q: view backward leaked into original grad", ps[i].Name)
+		}
+		if vs[i].V.Grad == nil {
+			t.Fatalf("param %q: view got no gradient", ps[i].Name)
+		}
+	}
+
+	// Restore on the original must be visible through the view (shared data).
+	snap := Snapshot(enc)
+	ps[0].V.Data.Fill(0)
+	Restore(enc, snap)
+	if !tensor.ApproxEqual(vs[0].V.Data, snap[0], 0) {
+		t.Fatal("Restore not visible through the shared view")
+	}
+}
+
+func TestCloneSharedLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	l := NewLinear("head", 4, 3, rng)
+	v := l.CloneShared()
+	if v.W.V.Data != l.W.V.Data || v.B.V.Data != l.B.V.Data {
+		t.Fatal("Linear view does not share weights")
+	}
+	if v.W.V == l.W.V {
+		t.Fatal("Linear view shares the W Value")
+	}
+}

@@ -62,6 +62,18 @@ func AddScaledInPlace(a *Matrix, s float64, b *Matrix) {
 	}
 }
 
+// SumInto accumulates every src into dst in argument order. It is the
+// reduction entry point of the device-parallel trainer: the summation order
+// is fixed by the caller (shard order), so the result is bit-identical no
+// matter how many workers produced the inputs. Nil sources are skipped.
+func SumInto(dst *Matrix, srcs ...*Matrix) {
+	for _, s := range srcs {
+		if s != nil {
+			AddInPlace(dst, s)
+		}
+	}
+}
+
 // ScaleInPlace multiplies every entry of a by s.
 func ScaleInPlace(a *Matrix, s float64) {
 	for i := range a.data {

@@ -274,3 +274,27 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 		t.Fatal("parallel MatMul differs from serial kernel")
 	}
 }
+
+func TestSumInto(t *testing.T) {
+	dst := FromRows([][]float64{{1, 2}, {3, 4}})
+	a := FromRows([][]float64{{10, 20}, {30, 40}})
+	b := FromRows([][]float64{{100, 200}, {300, 400}})
+	SumInto(dst, a, nil, b)
+	want := FromRows([][]float64{{111, 222}, {333, 444}})
+	if !ApproxEqual(dst, want, 0) {
+		t.Fatalf("SumInto = %v, want %v", dst, want)
+	}
+	SumInto(dst) // no sources: no-op
+	if !ApproxEqual(dst, want, 0) {
+		t.Fatal("SumInto with no sources changed dst")
+	}
+}
+
+func TestSumIntoShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	SumInto(New(2, 2), New(2, 3))
+}

@@ -138,6 +138,15 @@ func (m *Matrix) SetRow(i int, v []float64) {
 	copy(m.Row(i), v)
 }
 
+// SliceRows returns the sub-matrix of rows [lo, hi) as a view sharing m's
+// storage — no copy; writes through either alias are visible to both.
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) of %d rows", lo, hi, m.rows))
+	}
+	return &Matrix{rows: hi - lo, cols: m.cols, data: m.data[lo*m.cols : hi*m.cols]}
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.rows, m.cols)

@@ -183,3 +183,30 @@ func expectPanic(t *testing.T, what string) {
 		t.Fatalf("expected panic: %s", what)
 	}
 }
+
+func TestSliceRowsIsAView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	v := m.SliceRows(1, 3)
+	if v.Rows() != 2 || v.Cols() != 2 {
+		t.Fatalf("view dims %dx%d, want 2x2", v.Rows(), v.Cols())
+	}
+	if v.At(0, 0) != 3 || v.At(1, 1) != 6 {
+		t.Fatalf("view content wrong: %v", v)
+	}
+	m.Set(1, 0, 30)
+	if v.At(0, 0) != 30 {
+		t.Fatal("view did not observe write through parent")
+	}
+	if empty := m.SliceRows(2, 2); empty.Rows() != 0 {
+		t.Fatalf("empty slice has %d rows", empty.Rows())
+	}
+}
+
+func TestSliceRowsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range slice")
+		}
+	}()
+	New(3, 2).SliceRows(1, 4)
+}

@@ -14,6 +14,27 @@
 //	sys, _ := lumos.NewSystem(g, g, lumos.Config{Task: lumos.Supervised, Backbone: lumos.GCN, Epochs: 60})
 //	stats, _ := sys.TrainSupervised(split)
 //	acc, _ := sys.EvaluateAccuracy(split.IsTest)
+//
+// # Device-parallel training
+//
+// Training runs on a device-parallel engine: the forest of per-device trees
+// is partitioned into Config.Shards contiguous shards (default: min(N, 32),
+// balanced by tree size), and each epoch's local forward/backward passes
+// execute on a worker pool of Config.Workers goroutines (default: one per
+// CPU). Shard gradients are combined by a deterministic tree-ordered
+// reduction, and every shard owns a private RNG stream split from
+// Config.Seed, so the engine guarantees: with a fixed seed, losses and
+// trained weights are bit-identical for every Workers value. Workers is
+// purely a wall-clock knob.
+//
+// Config.Sched selects the round schedule. SchedSync (default) is the
+// paper's lockstep protocol: every epoch aggregates all gradients and waits
+// for the straggler. SchedAsync simulates staleness-bounded asynchronous
+// aggregation: the heaviest (straggler) shards apply their gradients up to
+// Config.Staleness epochs late, and the system-cost model amortizes their
+// compute accordingly, so TrainStats.SimEpochTime reflects the freed
+// barrier. Async schedules derive deterministically from the workload
+// ranking — reruns reproduce bit-for-bit there too.
 package lumos
 
 import (
@@ -81,6 +102,9 @@ type (
 	Config = core.Config
 	// Task selects supervised or unsupervised training.
 	Task = core.Task
+	// Sched selects synchronous or staleness-bounded asynchronous round
+	// scheduling (see the package documentation).
+	Sched = core.Sched
 	// System is an assembled Lumos deployment.
 	System = core.System
 	// TrainStats reports losses, per-epoch traffic, and the Fig. 8 cost
@@ -93,6 +117,15 @@ const (
 	Supervised   = core.Supervised
 	Unsupervised = core.Unsupervised
 )
+
+// Scheduling modes.
+const (
+	SchedSync  = core.SchedSync
+	SchedAsync = core.SchedAsync
+)
+
+// ParseSched parses a scheduling-mode name ("sync" or "async").
+func ParseSched(name string) (Sched, error) { return core.ParseSched(name) }
 
 // NewSystem assembles a Lumos deployment over graph g. For supervised
 // training pass full == g; for link prediction pass the training subgraph

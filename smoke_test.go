@@ -1,0 +1,64 @@
+// Smoke tests for every binary entry point: each cmd/* and examples/* main
+// package must build, and the fast demos must run end to end. This is the
+// safety net that keeps the documented entry points from silently rotting —
+// they carry no test files of their own.
+package lumos_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// entryPoints lists every main package with the arguments used to exercise
+// it at tiny scale. run=false means build-only (the binary needs large
+// inputs or long training to say anything useful).
+var entryPoints = []struct {
+	pkg  string
+	run  bool
+	args []string
+}{
+	{pkg: "./cmd/lumos-bench", run: false},
+	{pkg: "./cmd/lumos-datagen", run: true, args: []string{"-dataset", "facebook", "-scale", "0.005"}},
+	{pkg: "./cmd/lumos-train", run: false},
+	{pkg: "./examples/quickstart", run: true, args: []string{"-n", "60", "-m", "240", "-epochs", "3", "-mcmc", "10"}},
+	{pkg: "./examples/securecompare", run: true},
+	{pkg: "./examples/linkprediction", run: false},
+	{pkg: "./examples/privacysweep", run: false},
+	{pkg: "./examples/socialnetwork", run: false},
+}
+
+// TestEntryPointsBuildAndRun builds every binary and executes the cheap
+// ones. It stays short-mode friendly: the tiny-scale runs finish in well
+// under a second each, and builds share the normal Go build cache.
+func TestEntryPointsBuildAndRun(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not available: %v", err)
+	}
+	binDir := t.TempDir()
+	for _, ep := range entryPoints {
+		ep := ep
+		name := strings.TrimPrefix(ep.pkg, "./")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, filepath.Base(ep.pkg))
+			build := exec.Command(goBin, "build", "-o", bin, ep.pkg)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build %s: %v\n%s", ep.pkg, err, out)
+			}
+			if !ep.run {
+				return
+			}
+			cmd := exec.Command(bin, ep.args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %s: %v\n%s", ep.pkg, strings.Join(ep.args, " "), err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", ep.pkg)
+			}
+		})
+	}
+}
