@@ -46,7 +46,7 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	g, err := loadDataset(*dataset, *scale, *seed)
+	g, err := graph.LoadDataset(*dataset, *scale, *seed)
 	check(err)
 	st := g.ComputeStats()
 	fmt.Printf("dataset %s: N=%d M=%d avgdeg=%.1f maxdeg=%d classes=%d features=%d\n",
@@ -104,24 +104,6 @@ func main() {
 		fatalf("unknown task %q", *task)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
-}
-
-func loadDataset(name string, scale float64, seed int64) (*graph.Graph, error) {
-	switch {
-	case name == "facebook" || name == "fb":
-		return graph.FacebookLike(scale, seed)
-	case name == "lastfm" || name == "lf":
-		return graph.LastFMLike(scale, seed)
-	case strings.HasPrefix(name, "file:"):
-		f, err := os.Open(strings.TrimPrefix(name, "file:"))
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.Read(f)
-	default:
-		return nil, fmt.Errorf("unknown dataset %q", name)
-	}
 }
 
 func printStats(stats *core.TrainStats, epochs int) {

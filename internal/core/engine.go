@@ -60,9 +60,10 @@ type shard struct {
 // delayedGrads is one shard's encoder gradient, queued for application at
 // (or after) the release epoch.
 type delayedGrads struct {
-	release int
-	shard   int
-	grads   []*tensor.Matrix // aligned with Encoder.Params()
+	computed int // epoch the gradient was computed in
+	release  int
+	shard    int
+	grads    []*tensor.Matrix // aligned with Encoder.Params()
 }
 
 // engine executes training epochs over the sharded forest.
@@ -75,13 +76,18 @@ type engine struct {
 	delays  []int // per-shard staleness delay in epochs (all zero when sync)
 	queue   []delayedGrads
 	epoch   int
+	// lastParts/partAge cache each shard's most recent pooled partial for
+	// partial-participation rounds: an absent shard's vertices keep serving
+	// the embeddings its leaves last pushed, until the cache ages out.
+	lastParts []*tensor.Matrix
+	partAge   []int
 }
 
 // newEngine shards the system's forest and prepares per-shard model views.
 func newEngine(s *System) *engine {
 	target := s.Cfg.Shards
 	if target == 0 {
-		target = DefaultShards
+		target = defaultShardCount()
 	}
 	if target > s.G.N {
 		target = s.G.N
@@ -230,8 +236,17 @@ func (e *engine) parallel(fn func(i int)) {
 // returned Values carry live autodiff graphs rooted in the shard's weight
 // views.
 func (e *engine) forwardShards(training bool) []*autodiff.Value {
+	return e.forwardActive(training, nil)
+}
+
+// forwardActive is forwardShards restricted to the active shards (nil means
+// all); inactive shards get a nil partial.
+func (e *engine) forwardActive(training bool, active []bool) []*autodiff.Value {
 	parts := make([]*autodiff.Value, len(e.shards))
 	e.parallel(func(i int) {
+		if active != nil && !active[i] {
+			return
+		}
 		sh := e.shards[i]
 		x := autodiff.Const(sh.x)
 		h := e.encs[i].Forward(sh.conv, x, training, e.rngs[i])
@@ -248,66 +263,156 @@ func (e *engine) forward(training bool) *autodiff.Value {
 	return autodiff.AddN(e.forwardShards(training)...)
 }
 
-// step runs one training epoch: parallel shard forward, serial loss over the
-// combined pooling, parallel shard backward, deterministic tree-ordered
-// gradient reduction (with staleness delays when async), optimizer step.
+// step runs one full-participation training epoch under the engine's
+// built-in (workload-ranked) staleness schedule. Returns the epoch loss.
+func (e *engine) step(lossFn func(pooled *autodiff.Value) *autodiff.Value) float64 {
+	loss, _ := e.stepRound(nil, nil, 0, lossFn)
+	return loss
+}
+
+// roundReport carries the partial-participation bookkeeping of one round.
+type roundReport struct {
+	activeShards int // shards that computed a fresh update
+	staleApplied int // queued gradients from earlier rounds applied this round
+	// expiredParts counts absent shards whose contribution this round's
+	// forward pass actually lost to an aged-out cache (a cache that ages out
+	// during rounds with no forward pass, or is refreshed by fresh compute,
+	// drops nothing and is not counted).
+	expiredParts int
+}
+
+// stepRound runs one training round: parallel shard forward over the active
+// shards (nil = all), serial loss over the combined pooling, parallel shard
+// backward, deterministic tree-ordered gradient reduction, optimizer step.
 // lossFn builds the scalar task loss from the pooled embeddings; any real
 // parameters it touches directly (e.g. the supervised head) get fresh
-// gradients via the serial phase. Returns the epoch loss.
-func (e *engine) step(lossFn func(pooled *autodiff.Value) *autodiff.Value) float64 {
+// gradients via the serial phase.
+//
+// delays, when non-nil, gives each shard's gradient-application delay in
+// rounds (e.g. derived from simulated message arrivals); nil selects the
+// engine's own workload-ranked schedule. An inactive shard contributes the
+// pooled partial cached from its last active round — the embeddings its
+// leaves pushed before the devices went offline — until the cache is more
+// than partTTL rounds old, after which the contribution is dropped.
+func (e *engine) stepRound(active []bool, delays []int, partTTL int, lossFn func(pooled *autodiff.Value) *autodiff.Value) (float64, roundReport) {
 	s := e.sys
 	nn.ZeroGrad(s)
-
-	// Phase 1: parallel local forward + pool.
-	parts := e.forwardShards(true)
-
-	// Phase 2: serial combine and loss. Cutting the graph at each partial
-	// (a fresh leaf sharing the partial's data) keeps the expensive shard
-	// subgraphs out of this Backward; it stops at the cut leaves.
-	cuts := make([]*autodiff.Value, len(parts))
-	for i, p := range parts {
-		cuts[i] = autodiff.Var(p.Data)
+	// The stale-partial cache only serves partial-participation rounds, so
+	// it is allocated lazily on first partial use — pure full-participation
+	// runs never pay the retention. Once allocated, every round (including
+	// full-participation epochs on the same system) refreshes it, so the
+	// TTL always counts real rounds since a shard's last computation.
+	if active != nil && e.lastParts == nil {
+		e.lastParts = make([]*tensor.Matrix, len(e.shards))
+		e.partAge = make([]int, len(e.shards))
 	}
-	pooled := autodiff.AddN(cuts...)
+	var rep roundReport
+
+	// Phase 1: parallel local forward + pool over the active shards.
+	parts := e.forwardActive(true, active)
+
+	// Phase 2: serial combine and loss. Cutting the graph at each fresh
+	// partial (a new leaf sharing the partial's data) keeps the expensive
+	// shard subgraphs out of this Backward; it stops at the cut leaves.
+	// Absent shards contribute their cached partial as a constant.
+	cuts := make([]*autodiff.Value, len(parts))
+	terms := make([]*autodiff.Value, 0, len(parts))
+	for i, p := range parts {
+		switch {
+		case p != nil:
+			rep.activeShards++
+			cuts[i] = autodiff.Var(p.Data)
+			terms = append(terms, cuts[i])
+			if e.lastParts != nil {
+				e.lastParts[i], e.partAge[i] = p.Data, 0
+			}
+		case e.lastParts[i] != nil && e.partAge[i] < partTTL:
+			e.partAge[i]++
+			terms = append(terms, autodiff.Const(e.lastParts[i]))
+		case e.lastParts[i] != nil:
+			// Expired: count the dropped contribution once and release the
+			// matrix; the shard contributes nothing until it computes again.
+			e.lastParts[i] = nil
+			rep.expiredParts++
+		}
+	}
+	var pooled *autodiff.Value
+	if len(terms) > 0 {
+		pooled = autodiff.AddN(terms...)
+	} else {
+		pooled = autodiff.Const(tensor.New(s.G.N, s.Encoder.EmbeddingDim()))
+	}
 	loss := lossFn(pooled)
 	loss.Backward()
 
 	// Phase 3: parallel shard backward, replaying each cut's gradient
 	// through the shard subgraph into the shard's private weight views.
 	e.parallel(func(i int) {
+		if cuts[i] == nil {
+			return
+		}
 		if g := cuts[i].Grad; g != nil {
 			parts[i].BackwardWithGradient(g)
 		}
 	})
 
-	// Phase 4: deterministic reduction. Detach every shard's view gradients
-	// and queue them; sync mode releases immediately, async delays
-	// stragglers.
+	// Phase 4: deterministic reduction. Detach every active shard's view
+	// gradients and queue them; delay 0 releases immediately, larger values
+	// simulate stale delivery.
 	for i := range e.shards {
+		if parts[i] == nil {
+			continue
+		}
+		d := e.delays[i]
+		if delays != nil {
+			d = delays[i]
+		}
 		views := e.encs[i].Params()
 		grads := make([]*tensor.Matrix, len(views))
 		for j, vp := range views {
 			grads[j] = vp.V.Grad
 			vp.V.Grad = nil
 		}
-		e.queue = append(e.queue, delayedGrads{release: e.epoch + e.delays[i], shard: i, grads: grads})
+		e.queue = append(e.queue, delayedGrads{computed: e.epoch, release: e.epoch + d, shard: i, grads: grads})
 	}
-	e.applyDue(e.epoch)
+	rep.staleApplied = e.applyDue(e.epoch)
 	s.opt.Step(s.Params())
 	e.epoch++
-	return loss.Scalar()
+	return loss.Scalar(), rep
+}
+
+// skipRound advances the round clock without fresh computation — used when a
+// partial-participation round has nothing to contribute (no participant
+// holds a training vertex, or nobody is online) — still applying any queued
+// gradients that come due, stepping the optimizer as the aggregator would,
+// and aging the stale-partial caches so their TTL counts real rounds.
+func (e *engine) skipRound() int {
+	nn.ZeroGrad(e.sys)
+	for i := range e.lastParts {
+		if e.lastParts[i] != nil {
+			e.partAge[i]++
+		}
+	}
+	stale := e.applyDue(e.epoch)
+	e.sys.opt.Step(e.sys.Params())
+	e.epoch++
+	return stale
 }
 
 // applyDue folds every queued gradient whose release epoch has arrived into
 // the real encoder parameters, in queue order (compute epoch, then shard) —
-// a fixed order, so reduction stays bit-deterministic.
-func (e *engine) applyDue(epoch int) {
+// a fixed order, so reduction stays bit-deterministic. Returns how many of
+// the applied gradients were computed in an earlier epoch (stale applies).
+func (e *engine) applyDue(epoch int) (stale int) {
 	realParams := e.sys.Encoder.Params()
 	kept := e.queue[:0]
 	for _, dg := range e.queue {
 		if dg.release > epoch {
 			kept = append(kept, dg)
 			continue
+		}
+		if dg.computed < epoch {
+			stale++
 		}
 		for j, g := range dg.grads {
 			if g == nil {
@@ -321,6 +426,7 @@ func (e *engine) applyDue(epoch int) {
 		}
 	}
 	e.queue = kept
+	return stale
 }
 
 // drain applies all still-pending stale gradients in one final synchronous

@@ -183,7 +183,7 @@ func TestShardPartitionInvariants(t *testing.T) {
 		shards := sys.eng.shards
 		want := shardsCfg
 		if want == 0 {
-			want = DefaultShards
+			want = defaultShardCount()
 		}
 		if want > g.N {
 			want = g.N

@@ -217,7 +217,7 @@ func TestEpochTrafficScalesWithWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw.accountEpochTraffic()
+	raw.accountEpochTraffic(nil)
 	rawEmb := raw.Net.Snapshot().Messages[fed.MsgEmbedding]
 	if rawEmb != 2*g.NumEdges() {
 		t.Fatalf("untrimmed embedding msgs = %d, want %d", rawEmb, 2*g.NumEdges())
@@ -226,7 +226,7 @@ func TestEpochTrafficScalesWithWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trimmed.accountEpochTraffic()
+	trimmed.accountEpochTraffic(nil)
 	trimEmb := trimmed.Net.Snapshot().Messages[fed.MsgEmbedding]
 	if trimEmb >= rawEmb {
 		t.Fatalf("trimming did not reduce embedding traffic: %d vs %d", trimEmb, rawEmb)

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"lumos/internal/autodiff"
+	"lumos/internal/graph"
+)
+
+// This file is the round-level driving surface used by internal/sim: a
+// discrete-event simulator samples participants each round, derives
+// per-device gradient delays from simulated message arrivals, and steps the
+// engine one round at a time instead of running a whole TrainSupervised
+// loop. Everything here stays bit-deterministic for a fixed seed and
+// participation schedule, for every Workers value.
+
+// RoundOutcome reports one partial-participation training round.
+type RoundOutcome struct {
+	// Loss is the round's training loss (0 when Skipped).
+	Loss float64
+	// Skipped is set when the round had no usable training signal (no
+	// participant holds a training vertex); the round clock still advanced
+	// and due stale gradients were applied.
+	Skipped bool
+	// ActiveShards is the number of shards that computed a fresh update.
+	ActiveShards int
+	// StaleApplied counts gradients computed in earlier rounds that were
+	// folded into the model this round.
+	StaleApplied int
+	// ExpiredParts counts absent shards whose cached pooling contribution
+	// aged past the TTL and was dropped from the forward pass.
+	ExpiredParts int
+}
+
+// StepRoundSupervised runs one supervised training round restricted to the
+// given participants: active[v] marks device v as present this round. Only
+// present devices compute, contribute loss terms for their own vertices, and
+// send gradients; the vertices of absent devices keep serving the pooled
+// embeddings their leaves last pushed, until that cache is more than partTTL
+// rounds old.
+//
+// delays (optional, per device, in rounds) postpones a participant's
+// gradient application — the caller's staleness schedule, typically derived
+// from simulated message arrival times; nil applies every gradient
+// immediately. Participation and delays are lifted to shard granularity: a
+// shard is active when at least half of its devices are present (exact when
+// the system was built with Shards == N, one device per shard — the
+// simulator default), and a shard's delay is the largest delay among its
+// present devices.
+func (s *System) StepRoundSupervised(split *graph.NodeSplit, active []bool, delays []int, partTTL int) (RoundOutcome, error) {
+	if s.Cfg.Task != Supervised {
+		return RoundOutcome{}, fmt.Errorf("core: StepRoundSupervised on %v system", s.Cfg.Task)
+	}
+	if split == nil {
+		return RoundOutcome{}, fmt.Errorf("core: nil node split")
+	}
+	if len(active) != s.G.N {
+		return RoundOutcome{}, fmt.Errorf("core: %d participation flags for %d devices", len(active), s.G.N)
+	}
+	if delays != nil && len(delays) != s.G.N {
+		return RoundOutcome{}, fmt.Errorf("core: %d delays for %d devices", len(delays), s.G.N)
+	}
+	if partTTL < 0 {
+		return RoundOutcome{}, fmt.Errorf("core: negative partial TTL %d", partTTL)
+	}
+	weights := make([]float64, s.G.N)
+	usable := false
+	for _, v := range split.Train {
+		if active[v] {
+			weights[v] = 1
+			usable = true
+		}
+	}
+	if !usable {
+		// No participant holds a training vertex: nothing to learn from, but
+		// the round still happened — stale gradients come due and the
+		// optimizer steps, as the aggregator would.
+		return RoundOutcome{Skipped: true, StaleApplied: s.eng.skipRound()}, nil
+	}
+	s.accountEpochTraffic(active)
+	shardActive, shardDelay := s.eng.mapDevices(active, delays)
+	loss, rep := s.eng.stepRound(shardActive, shardDelay, partTTL, func(pooled *autodiff.Value) *autodiff.Value {
+		logits := s.Head.Forward(pooled)
+		return autodiff.SoftmaxCrossEntropy(logits, s.G.Labels, weights)
+	})
+	return RoundOutcome{
+		Loss:         loss,
+		ActiveShards: rep.activeShards,
+		StaleApplied: rep.staleApplied,
+		ExpiredParts: rep.expiredParts,
+	}, nil
+}
+
+// FinishRounds applies every still-queued stale gradient in one terminal
+// synchronous step, mirroring the final barrier of a bounded-staleness
+// deployment. Call it once after the last StepRoundSupervised.
+func (s *System) FinishRounds() {
+	s.eng.drain()
+}
+
+// ShardCount reports how many shards the engine partitioned the forest into.
+func (s *System) ShardCount() int {
+	return len(s.eng.shards)
+}
+
+// DeviceUploadBytes estimates the bytes device v uploads in one round it
+// participates in: its leaf-embedding pushes to the vertices' owners, its
+// loss share, and its gradient contribution (plus pooled-embedding returns
+// when unsupervised). This is the per-event transfer size the simulator
+// divides by each device's link bandwidth.
+func (s *System) DeviceUploadBytes() []int64 {
+	embBytes, gradBytes, lossBytes := s.wireBytes()
+	out := make([]int64, s.G.N)
+	for v, t := range s.Trees {
+		b := int64(len(t.Retained))*int64(embBytes) + int64(lossBytes) + int64(gradBytes)
+		if s.Cfg.Task == Unsupervised {
+			b += int64(len(t.Retained)) * int64(embBytes)
+		}
+		out[v] = b
+	}
+	return out
+}
+
+// ModelBytes is the serialized size of one shared-model update — the
+// server→device broadcast a participant downloads after aggregation (and a
+// rejoining device must re-download to catch up).
+func (s *System) ModelBytes() int64 {
+	_, gradBytes, _ := s.wireBytes()
+	return int64(gradBytes)
+}
+
+// mapDevices lifts per-device participation and delays to shard granularity:
+// a shard is active when at least half of its devices (and at least one) are
+// present, and an active shard's delay is the largest delay among its
+// present devices. With one device per shard the mapping is exact.
+func (e *engine) mapDevices(active []bool, delays []int) ([]bool, []int) {
+	sa := make([]bool, len(e.shards))
+	sd := make([]int, len(e.shards))
+	for i, sh := range e.shards {
+		on := 0
+		for v := sh.lo; v < sh.hi; v++ {
+			if active[v] {
+				on++
+			}
+		}
+		sa[i] = on > 0 && 2*on >= sh.hi-sh.lo
+		if !sa[i] || delays == nil {
+			continue
+		}
+		for v := sh.lo; v < sh.hi; v++ {
+			if active[v] && delays[v] > sd[i] {
+				sd[i] = delays[v]
+			}
+		}
+	}
+	return sa, sd
+}

@@ -60,7 +60,7 @@ func (s *System) TrainSupervised(split *graph.NodeSplit) (*TrainStats, error) {
 			logits := s.Head.Forward(pooled)
 			return autodiff.SoftmaxCrossEntropy(logits, s.G.Labels, weights)
 		})
-		s.accountEpochTraffic()
+		s.accountEpochTraffic(nil)
 		stats.Losses = append(stats.Losses, loss)
 		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
 		// Validation-based model selection: each device evaluates its own
@@ -103,7 +103,7 @@ func (s *System) TrainUnsupervised(val *graph.EdgeSplit) (*TrainStats, error) {
 			scores := autodiff.PairDot(pooled, idxU, idxV)
 			return autodiff.LogisticLoss(scores, ys)
 		})
-		s.accountEpochTraffic()
+		s.accountEpochTraffic(nil)
 		s.accountNegSampling(negCount)
 		stats.Losses = append(stats.Losses, loss)
 		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
@@ -152,14 +152,26 @@ func (s *System) samplePairs() (idxU, idxV []int, ys []float64, negCount int) {
 	return idxU, idxV, ys, negCount
 }
 
+// wireBytes is the single source of the per-message wire sizes (payload
+// plus a 16-byte header): embedding shares, gradient/model shares, and
+// loss-value shares. Every traffic accounter and the simulator's
+// transfer-time estimates derive from these numbers, so they can never
+// drift apart.
+func (s *System) wireBytes() (embBytes, gradBytes, lossBytes int) {
+	return 8*s.Cfg.OutDim + 16, 8*nn.CountParams(s.Encoder) + 16, 24
+}
+
 // accountEpochTraffic records the messages every epoch of either task
-// sends: each device pushes the embeddings of its neighbor leaves to their
-// owner devices (the POOL exchange), shares its loss value, and contributes
-// its gradient to the synchronous aggregation.
-func (s *System) accountEpochTraffic() {
-	embBytes := 8*s.Cfg.OutDim + 16
-	gradBytes := 8*nn.CountParams(s.Encoder) + 16
+// sends: each present device pushes the embeddings of its neighbor leaves
+// to their owner devices (the POOL exchange), shares its loss value, and
+// contributes its gradient to the aggregation. active restricts the senders
+// to a participation mask (nil = every device, the full-epoch trainers).
+func (s *System) accountEpochTraffic(active []bool) {
+	embBytes, gradBytes, lossBytes := s.wireBytes()
 	for v, t := range s.Trees {
+		if active != nil && !active[v] {
+			continue
+		}
 		for _, u := range t.Retained {
 			s.Net.Send(v, u, fed.MsgEmbedding, embBytes)
 		}
@@ -170,14 +182,14 @@ func (s *System) accountEpochTraffic() {
 				s.Net.Send(u, v, fed.MsgPooled, embBytes)
 			}
 		}
-		s.Net.Send(v, (v+1)%s.G.N, fed.MsgLoss, 24)
+		s.Net.Send(v, (v+1)%s.G.N, fed.MsgLoss, lossBytes)
 		s.Net.Send(v, (v+1)%s.G.N, fed.MsgGradient, gradBytes)
 	}
 }
 
 // accountNegSampling records the embedding fetches for negative samples.
 func (s *System) accountNegSampling(negCount int) {
-	embBytes := 8*s.Cfg.OutDim + 16
+	embBytes, _, _ := s.wireBytes()
 	for i := 0; i < negCount; i++ {
 		s.Net.Send(fed.ServerID, fed.ServerID, fed.MsgNegSample, embBytes)
 	}

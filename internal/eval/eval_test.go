@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lumos/internal/nn"
+	"lumos/internal/sim"
 )
 
 // tinyOpts keeps every experiment runner fast enough for unit tests while
@@ -217,5 +218,48 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
 	if len(lines) != 3 || lines[0] != "a,longcol" {
 		t.Fatalf("csv output:\n%s", csv.String())
+	}
+}
+
+func TestRunSimTimeline(t *testing.T) {
+	sc := sim.Scenario{
+		Fleet: sim.FleetZipf, ZipfSkew: 1.4,
+		Churn: 0.2, Participation: 0.8,
+		Rounds: 6, EvalEvery: 3, Seed: 4,
+	}
+	rs, err := RunSimTimeline(tinyOpts(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want sync+async for one dataset", len(rs))
+	}
+	var syncRes, asyncRes SimTimelineResult
+	for _, r := range rs {
+		if r.Rounds != 6 {
+			t.Fatalf("%s/%s simulated %d rounds, want 6", r.Dataset, r.Sched, r.Rounds)
+		}
+		if r.WallClock <= 0 || r.TotalBytes <= 0 {
+			t.Fatalf("degenerate timeline: %+v", r)
+		}
+		switch r.Sched {
+		case "sync":
+			syncRes = r
+		case "async":
+			asyncRes = r
+		}
+	}
+	if asyncRes.WallClock >= syncRes.WallClock {
+		t.Fatalf("async wall-clock %.3fs not below sync %.3fs", asyncRes.WallClock, syncRes.WallClock)
+	}
+	var buf bytes.Buffer
+	if err := SimTimelineTable(rs).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "async") {
+		t.Fatal("table missing async row")
+	}
+	if err := SimTimelineCSVTable(rs).RenderCSV(&buf); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lumos/internal/core"
+	"lumos/internal/graph"
+	"lumos/internal/sim"
+)
+
+// This runner replaces the single-number fed.CostModel estimate that Fig. 8
+// reports (TrainStats.SimEpochTime) with a full simulated timeline from
+// internal/sim: the analytic model supplies the per-event costs, and the
+// discrete-event simulator plays them out over a heterogeneous, churning
+// fleet under both scheduling disciplines.
+
+// SimTimelineResult summarizes one dataset×discipline simulation.
+type SimTimelineResult struct {
+	Dataset string
+	Sched   string
+	Rounds  int
+	// WallClock is the simulated seconds to commit every round.
+	WallClock float64
+	// TotalBytes is the scenario's total wire traffic.
+	TotalBytes int64
+	// MeanParticipants is the average per-round participant count.
+	MeanParticipants float64
+	// FinalAccuracy is the test accuracy after the terminal barrier.
+	FinalAccuracy float64
+	// Timeline carries the per-round records for external plotting.
+	Timeline []sim.RoundStats
+}
+
+// RunSimTimeline simulates the scenario once per scheduling discipline per
+// configured dataset (supervised task, first configured backbone), with one
+// device per shard so participation is exact. The async runs use
+// Options.Staleness when set (default 2).
+func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	bb := opts.Backbones[0]
+	staleness := opts.Staleness
+	if staleness == 0 {
+		staleness = 2
+	}
+	var out []SimTimelineResult
+	for _, ds := range opts.Datasets {
+		g, err := opts.LoadDataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(opts.Seed^1)))
+		if err != nil {
+			return nil, err
+		}
+		for _, sched := range []core.Sched{core.SchedSync, core.SchedAsync} {
+			cfg := core.Config{
+				Task: core.Supervised, Backbone: bb,
+				Epsilon: opts.Epsilon, Epochs: opts.Epochs,
+				MCMCIterations: opts.mcmcItersFor(ds),
+				SecureCompare:  opts.SecureCompare,
+				Workers:        opts.Workers,
+				Shards:         g.N, // one device per shard: exact participation
+				Sched:          sched,
+				Seed:           opts.Seed,
+			}
+			if sched == core.SchedAsync {
+				cfg.Staleness = staleness
+			}
+			sys, err := core.NewSystem(g, g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("eval: timeline %s/%s: %w", ds, sched, err)
+			}
+			simulator, err := sim.New(sys, sc)
+			if err != nil {
+				return nil, err
+			}
+			r, err := simulator.Run(split)
+			if err != nil {
+				return nil, fmt.Errorf("eval: timeline %s/%s: %w", ds, sched, err)
+			}
+			out = append(out, SimTimelineResult{
+				Dataset: ds, Sched: sched.String(), Rounds: len(r.Timeline),
+				WallClock: r.WallClock, TotalBytes: r.TotalBytes,
+				MeanParticipants: r.MeanParticipants,
+				FinalAccuracy:    r.FinalAccuracy,
+				Timeline:         r.Timeline,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SimTimelineTable renders the per-discipline summaries.
+func SimTimelineTable(rs []SimTimelineResult) *Table {
+	t := &Table{
+		Title:   "Simulated timelines: sync vs async scheduling over a heterogeneous churning fleet",
+		Columns: []string{"dataset", "sched", "rounds", "wallclock(s)", "bytes", "avg participants", "final acc"},
+	}
+	for _, r := range rs {
+		t.AddRow(r.Dataset, r.Sched, r.Rounds,
+			fmt.Sprintf("%.3f", r.WallClock), r.TotalBytes,
+			fmt.Sprintf("%.1f", r.MeanParticipants), r.FinalAccuracy)
+	}
+	return t
+}
+
+// SimTimelineCSVTable renders every round of every timeline for plotting.
+func SimTimelineCSVTable(rs []SimTimelineResult) *Table {
+	t := &Table{
+		Title:   "Simulated timelines: per-round records",
+		Columns: []string{"dataset", "sched", "round", "start_s", "commit_s", "available", "participants", "late", "stale", "dropped", "bytes", "loss", "accuracy"},
+	}
+	for _, r := range rs {
+		for _, rr := range r.Timeline {
+			acc := ""
+			if rr.Evaluated {
+				acc = fmt.Sprintf("%.4f", rr.Accuracy)
+			}
+			t.AddRow(r.Dataset, r.Sched, rr.Round,
+				fmt.Sprintf("%.4f", rr.Start), fmt.Sprintf("%.4f", rr.Commit),
+				rr.Available, rr.Participants, rr.Late, rr.StaleApplied, rr.Dropped,
+				rr.Bytes, fmt.Sprintf("%.4f", rr.Loss), acc)
+		}
+	}
+	return t
+}

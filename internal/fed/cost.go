@@ -34,10 +34,19 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Validate rejects non-positive capacity.
+// Validate rejects non-positive capacity and negative timing terms.
 func (c CostModel) Validate() error {
 	if c.BytesPerSecond <= 0 {
 		return fmt.Errorf("fed: cost model bandwidth must be positive, got %v", c.BytesPerSecond)
+	}
+	if c.PerLeafPair < 0 {
+		return fmt.Errorf("fed: cost model PerLeafPair must be non-negative, got %v", c.PerLeafPair)
+	}
+	if c.BaseCompute < 0 {
+		return fmt.Errorf("fed: cost model BaseCompute must be non-negative, got %v", c.BaseCompute)
+	}
+	if c.MsgLatency < 0 {
+		return fmt.Errorf("fed: cost model MsgLatency must be non-negative, got %v", c.MsgLatency)
 	}
 	return nil
 }

@@ -151,9 +151,23 @@ func TestCostModelStragglerDominates(t *testing.T) {
 }
 
 func TestCostModelValidate(t *testing.T) {
-	bad := CostModel{BytesPerSecond: 0}
-	if err := bad.Validate(); err == nil {
+	if err := (CostModel{BytesPerSecond: 0}).Validate(); err == nil {
 		t.Fatal("zero bandwidth must error")
+	}
+	good := DefaultCostModel()
+	for _, mutate := range []func(*CostModel){
+		func(m *CostModel) { m.PerLeafPair = -time.Microsecond },
+		func(m *CostModel) { m.BaseCompute = -time.Millisecond },
+		func(m *CostModel) { m.MsgLatency = -time.Millisecond },
+	} {
+		bad := good
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("negative timing term validated: %+v", bad)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math"
+	"os"
+	"strings"
 )
 
 // Dataset presets. Each preset mirrors the headline statistics of one of
@@ -113,4 +115,25 @@ func capEdges(m, n int) int {
 		return mx
 	}
 	return m
+}
+
+// LoadDataset resolves a CLI dataset spec shared by the lumos binaries:
+// "facebook"/"fb" and "lastfm"/"lf" select the synthetic presets at the
+// given scale, and "file:<path>" reads a serialized graph from disk.
+func LoadDataset(spec string, scale float64, seed int64) (*Graph, error) {
+	switch {
+	case spec == "facebook" || spec == "fb":
+		return FacebookLike(scale, seed)
+	case spec == "lastfm" || spec == "lf":
+		return LastFMLike(scale, seed)
+	case strings.HasPrefix(spec, "file:"):
+		f, err := os.Open(strings.TrimPrefix(spec, "file:"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return Read(f)
+	default:
+		return nil, fmt.Errorf("graph: unknown dataset %q (want facebook|lastfm|file:<path>)", spec)
+	}
 }

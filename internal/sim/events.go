@@ -1,0 +1,63 @@
+package sim
+
+import "fmt"
+
+// eventKind enumerates the discrete-event types on the virtual clock.
+type eventKind int
+
+const (
+	// evLeave removes a device from the available set (churn or trace).
+	evLeave eventKind = iota
+	// evJoin returns a device to the available set.
+	evJoin
+	// evComputeDone fires when a device finishes its local forward/backward.
+	evComputeDone
+	// evArrival fires when a device's update lands at the aggregator.
+	evArrival
+)
+
+var eventNames = [...]string{"leave", "join", "compute-done", "arrival"}
+
+// String names the event kind.
+func (k eventKind) String() string {
+	if k < 0 || int(k) >= len(eventNames) {
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+	return eventNames[k]
+}
+
+// event is one scheduled occurrence on the virtual clock.
+type event struct {
+	at     float64 // virtual time, seconds
+	seq    int     // push order; breaks time ties deterministically
+	kind   eventKind
+	device int
+	round  int
+}
+
+// eventQueue is a min-heap over (at, seq): equal-time events pop in push
+// order, so the processing order never depends on heap internals or map
+// iteration — a hard requirement for the simulator's bit-reproducibility.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

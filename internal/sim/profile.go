@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Profile is one device's capacity relative to the nominal device of the
+// analytic cost model: multipliers scale fed.CostModel's compute, bandwidth,
+// and latency terms, so the cost model stays the single source of per-event
+// costs while the fleet becomes heterogeneous.
+type Profile struct {
+	// Compute is the compute-time multiplier (1 = nominal, 2 = twice as
+	// slow).
+	Compute float64
+	// Bandwidth is the link-bandwidth multiplier (1 = nominal, 0.5 = half
+	// the bytes per second).
+	Bandwidth float64
+	// Latency is the one-way message-latency multiplier.
+	Latency float64
+	// Period/OnRounds/Phase describe a periodic availability trace
+	// (FleetTrace only; Period 0 means always available): the device is
+	// online in round r iff (r+Phase) mod Period < OnRounds.
+	Period   int
+	OnRounds int
+	Phase    int
+}
+
+// OnlineAt reports the profile's trace availability for round r. Profiles
+// without a trace (Period 0) are always online; their availability is then
+// governed by the scenario's churn process instead.
+func (p Profile) OnlineAt(r int) bool {
+	if p.Period <= 0 {
+		return true
+	}
+	return (r+p.Phase)%p.Period < p.OnRounds
+}
+
+// Fleet names a device-profile distribution.
+type Fleet string
+
+const (
+	// FleetUniform gives every device the nominal profile; heterogeneity
+	// comes only from workloads and churn.
+	FleetUniform Fleet = "uniform"
+	// FleetZipf draws compute-speed multipliers from a zipf-like rank
+	// distribution (median device ≈ nominal, heavy straggler tail), with
+	// bandwidth and latency degrading alongside compute.
+	FleetZipf Fleet = "zipf"
+	// FleetTrace gives nominal capacity but a periodic availability trace
+	// (randomized phase per device), modeling diurnal on/off cycles; the
+	// trace replaces the scenario's churn process.
+	FleetTrace Fleet = "trace"
+)
+
+// ParseFleet parses a fleet name as used in CLI flags.
+func ParseFleet(name string) (Fleet, error) {
+	switch Fleet(name) {
+	case FleetUniform, FleetZipf, FleetTrace:
+		return Fleet(name), nil
+	default:
+		return "", fmt.Errorf("sim: unknown fleet %q (want uniform|zipf|trace)", name)
+	}
+}
+
+// zipfComputeFloor keeps the fastest zipf devices within a plausible range
+// of the nominal device instead of letting the rank formula shrink them
+// toward zero compute time.
+const zipfComputeFloor = 0.25
+
+// BuildProfiles draws n device profiles from the scenario's fleet,
+// deterministically from the scenario seed (ranks and phases are assigned by
+// a seeded permutation, so device 0 is not always the straggler).
+func BuildProfiles(sc Scenario, n int) ([]Profile, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: fleet of %d devices", n)
+	}
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x70726f66696c6573))
+	out := make([]Profile, n)
+	switch sc.Fleet {
+	case FleetUniform:
+		for d := range out {
+			out[d] = Profile{Compute: 1, Bandwidth: 1, Latency: 1}
+		}
+	case FleetZipf:
+		// Rank r (0 = fastest) gets compute multiplier ((r+1)/((n+1)/2))^s:
+		// the median device is nominal, the slowest ≈ 2^s × nominal.
+		perm := rng.Perm(n)
+		for rank, d := range perm {
+			rel := float64(rank+1) / (float64(n+1) / 2)
+			mult := math.Pow(rel, sc.ZipfSkew)
+			if mult < zipfComputeFloor {
+				mult = zipfComputeFloor
+			}
+			out[d] = Profile{
+				Compute:   mult,
+				Bandwidth: 1 / math.Sqrt(mult),
+				Latency:   math.Sqrt(mult),
+			}
+		}
+	case FleetTrace:
+		on := int(math.Round(sc.TraceDuty * float64(sc.TracePeriod)))
+		if on < 1 {
+			on = 1
+		}
+		if on > sc.TracePeriod {
+			on = sc.TracePeriod
+		}
+		for d := range out {
+			out[d] = Profile{
+				Compute: 1, Bandwidth: 1, Latency: 1,
+				Period: sc.TracePeriod, OnRounds: on, Phase: rng.Intn(sc.TracePeriod),
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown fleet %q", sc.Fleet)
+	}
+	return out, nil
+}

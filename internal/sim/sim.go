@@ -1,0 +1,195 @@
+// Package sim is a deterministic discrete-event simulator for Lumos
+// deployments over heterogeneous, churning device fleets — the scenario lab
+// the ROADMAP asks for. It replaces the single-number fed.CostModel epoch
+// estimate with a per-round simulated timeline: a virtual clock orders
+// compute-done, message-arrival, and device join/leave events; per-device
+// Profiles drawn from named fleets (uniform, zipf, trace) scale the analytic
+// cost model's compute, bandwidth, and latency terms, so the cost model
+// remains the single per-event cost source; and a Scenario layers churn,
+// per-round partial participation (sample K of the available devices), and
+// staleness-bounded catch-up for rejoining devices on top.
+//
+// Each committed round also drives the real training engine through
+// core.System.StepRoundSupervised — absent devices' shards are skipped (their
+// vertices keep serving cached embeddings until the cache ages out) and late
+// updates apply stale through the engine's delayed-gradient queue — so the
+// timeline carries true losses and accuracies, not just timing.
+//
+// Scheduling discipline comes from the system's Config.Sched: under
+// SchedSync every round is a barrier on the slowest participant; under
+// SchedAsync the aggregator commits once half the participants have
+// delivered, and a straggler may run up to Config.Staleness rounds behind
+// before it blocks a commit — amortizing its compute over staleness+1
+// rounds exactly as fed.CostModel.EpochTimeAsync models analytically.
+//
+// Determinism: the event queue breaks time ties by push order, every random
+// choice (fleet ranks, churn, participation sampling) draws from seeded
+// streams with a fixed consumption pattern, and the engine underneath is
+// bit-deterministic in the worker count — so the same seed and scenario
+// reproduce the identical timeline and final accuracy for every Workers
+// value.
+package sim
+
+import (
+	"fmt"
+
+	"lumos/internal/fed"
+)
+
+// Scenario configures one simulated deployment.
+type Scenario struct {
+	// Fleet names the device-profile distribution (default FleetUniform).
+	Fleet Fleet
+	// ZipfSkew shapes the zipf fleet's heterogeneity: the slowest device is
+	// ≈2^skew × the median (default 1.2).
+	ZipfSkew float64
+	// TracePeriod and TraceDuty shape the trace fleet's availability cycle:
+	// each device is online TraceDuty of every TracePeriod rounds, with a
+	// per-device random phase (defaults 8 and 0.75).
+	TracePeriod int
+	TraceDuty   float64
+	// Churn is the per-round probability that an available device goes
+	// offline at the round boundary (uniform/zipf fleets; the trace fleet
+	// derives availability from its trace instead).
+	Churn float64
+	// Rejoin is the per-round probability that an offline device returns
+	// (default 0.5; negative means devices never rejoin — the field's zero
+	// value selects the default, so 0 cannot express "never").
+	Rejoin float64
+	// Participation is the fraction of available devices sampled into each
+	// round, the partial-participation K/N (default 1: everyone online
+	// participates).
+	Participation float64
+	// Rounds is the number of training rounds to simulate.
+	Rounds int
+	// PartialTTL bounds how many rounds an absent device's cached pooling
+	// contribution keeps serving before it is dropped (default 2; negative
+	// disables cache serving entirely — the field's zero value selects the
+	// default, so 0 cannot express "no cache").
+	PartialTTL int
+	// EvalEvery evaluates test accuracy every k committed rounds (default 5;
+	// negative disables mid-run evaluation — the field's zero value selects
+	// the default. The final round is always evaluated).
+	EvalEvery int
+	// Cost supplies the per-event costs (zero value: fed.DefaultCostModel).
+	Cost fed.CostModel
+	// Seed drives every random choice in the scenario (fleet ranks, churn,
+	// sampling). Independent from the system's training seed.
+	Seed int64
+}
+
+// Validate fills defaults and checks ranges.
+func (sc *Scenario) Validate() error {
+	if sc.Fleet == "" {
+		sc.Fleet = FleetUniform
+	}
+	if _, err := ParseFleet(string(sc.Fleet)); err != nil {
+		return err
+	}
+	if sc.ZipfSkew == 0 {
+		sc.ZipfSkew = 1.2
+	}
+	if sc.ZipfSkew < 0 {
+		return fmt.Errorf("sim: negative zipf skew %v", sc.ZipfSkew)
+	}
+	if sc.TracePeriod == 0 {
+		sc.TracePeriod = 8
+	}
+	if sc.TracePeriod < 1 {
+		return fmt.Errorf("sim: trace period %d below 1 round", sc.TracePeriod)
+	}
+	if sc.TraceDuty == 0 {
+		sc.TraceDuty = 0.75
+	}
+	if sc.TraceDuty <= 0 || sc.TraceDuty > 1 {
+		return fmt.Errorf("sim: trace duty %v outside (0,1]", sc.TraceDuty)
+	}
+	if sc.Churn < 0 || sc.Churn >= 1 {
+		return fmt.Errorf("sim: churn %v outside [0,1)", sc.Churn)
+	}
+	switch {
+	case sc.Rejoin == 0:
+		sc.Rejoin = 0.5
+	case sc.Rejoin < 0:
+		sc.Rejoin = 0 // explicit "never rejoin"
+	case sc.Rejoin > 1:
+		return fmt.Errorf("sim: rejoin probability %v above 1", sc.Rejoin)
+	}
+	if sc.Participation == 0 {
+		sc.Participation = 1
+	}
+	if sc.Participation <= 0 || sc.Participation > 1 {
+		return fmt.Errorf("sim: participation %v outside (0,1]", sc.Participation)
+	}
+	if sc.Rounds <= 0 {
+		return fmt.Errorf("sim: scenario needs a positive round count, got %d", sc.Rounds)
+	}
+	switch {
+	case sc.PartialTTL == 0:
+		sc.PartialTTL = 2
+	case sc.PartialTTL < 0:
+		sc.PartialTTL = 0 // explicit "no cache serving"
+	}
+	switch {
+	case sc.EvalEvery == 0:
+		sc.EvalEvery = 5
+	case sc.EvalEvery < 0:
+		sc.EvalEvery = 0 // explicit "final round only"
+	}
+	if sc.Cost == (fed.CostModel{}) {
+		sc.Cost = fed.DefaultCostModel()
+	}
+	return sc.Cost.Validate()
+}
+
+// RoundStats is one entry of the simulated timeline.
+type RoundStats struct {
+	Round int
+	// Start and Commit bound the round on the virtual clock, in seconds:
+	// Start is the previous round's commit, Commit is when this round's
+	// aggregate was applied.
+	Start, Commit float64
+	// Available is the online device count after churn; Participants is the
+	// sampled subset that trained.
+	Available, Participants int
+	// Joined and Left count churn transitions at this round's boundary.
+	Joined, Left int
+	// Bytes on the wire this round: participant uploads plus the model
+	// broadcast back to each participant.
+	Bytes int64
+	// Late counts participants whose update missed the commit (async only;
+	// the update applies stale in a later round).
+	Late int
+	// CatchUps counts participants that had been away beyond the staleness
+	// bound and re-downloaded the model before computing.
+	CatchUps int
+	// StaleApplied counts previously-delayed gradients folded in this round;
+	// Dropped counts absent devices' cached pooling contributions that aged
+	// out.
+	StaleApplied int
+	Dropped      int
+	// Skipped marks a round with no usable training signal (no participant
+	// held a training vertex, or nobody was online).
+	Skipped bool
+	Loss    float64
+	// Accuracy is the test accuracy when Evaluated is set (every EvalEvery
+	// rounds and on the final round).
+	Accuracy  float64
+	Evaluated bool
+}
+
+// Result is a finished simulation: the full timeline plus summary metrics.
+type Result struct {
+	Timeline []RoundStats
+	// WallClock is the total simulated seconds to commit every round.
+	WallClock float64
+	// TotalBytes is the sum of per-round wire traffic.
+	TotalBytes int64
+	// MeanParticipants is the average per-round participant count.
+	MeanParticipants float64
+	// FinalAccuracy is the test accuracy after the terminal barrier.
+	FinalAccuracy float64
+	// StaleApplied and Dropped aggregate the per-round counters.
+	StaleApplied int
+	Dropped      int
+}

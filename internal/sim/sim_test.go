@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"lumos/internal/core"
+	"lumos/internal/fed"
+	"lumos/internal/graph"
+)
+
+// simSystem assembles a small supervised system with one device per shard —
+// the configuration the simulator is designed for.
+func simSystem(t testing.TB, sched core.Sched, staleness, workers int, seed int64) (*core.System, *graph.NodeSplit) {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "sim", N: 80, M: 360, Classes: 2, FeatureDim: 10,
+		PowerLaw: 2.2, Homophily: 0.85, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, g, core.Config{
+		Task: core.Supervised, MCMCIterations: 15, Shards: g.N,
+		Sched: sched, Staleness: staleness, Workers: workers, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, split
+}
+
+func TestScenarioValidateDefaults(t *testing.T) {
+	sc := Scenario{Rounds: 5}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Fleet != FleetUniform || sc.Participation != 1 || sc.Rejoin != 0.5 ||
+		sc.PartialTTL != 2 || sc.EvalEvery != 5 {
+		t.Fatalf("defaults not filled: %+v", sc)
+	}
+	if sc.Cost == (fed.CostModel{}) {
+		t.Fatal("cost model default not filled")
+	}
+	for _, bad := range []Scenario{
+		{Rounds: 0},
+		{Rounds: 5, Churn: 1},
+		{Rounds: 5, Participation: 1.5},
+		{Rounds: 5, Fleet: "mesh"},
+		{Rounds: 5, TraceDuty: 2},
+		{Rounds: 5, Cost: fed.CostModel{BytesPerSecond: 1, PerLeafPair: -time.Second}},
+	} {
+		bad := bad
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("scenario %+v validated", bad)
+		}
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	for _, name := range []string{"uniform", "zipf", "trace"} {
+		if _, err := ParseFleet(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ParseFleet("mesh"); err == nil {
+		t.Fatal("unknown fleet parsed")
+	}
+}
+
+func TestBuildProfilesDeterministic(t *testing.T) {
+	sc := Scenario{Rounds: 1, Fleet: FleetZipf, Seed: 3}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildProfiles(sc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildProfiles(sc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fleets")
+	}
+	slowest, fastest := 0.0, 1e18
+	for _, p := range a {
+		if p.Compute <= 0 || p.Bandwidth <= 0 || p.Latency <= 0 {
+			t.Fatalf("non-positive multiplier: %+v", p)
+		}
+		if p.Compute > slowest {
+			slowest = p.Compute
+		}
+		if p.Compute < fastest {
+			fastest = p.Compute
+		}
+	}
+	if slowest <= 1 || fastest < zipfComputeFloor {
+		t.Fatalf("zipf fleet lacks heterogeneity: fastest %v slowest %v", fastest, slowest)
+	}
+}
+
+func TestTraceProfilesCycle(t *testing.T) {
+	sc := Scenario{Rounds: 1, Fleet: FleetTrace, TracePeriod: 4, TraceDuty: 0.5, Seed: 5}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := BuildProfiles(sc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		on := 0
+		for r := 0; r < 4; r++ {
+			if p.OnlineAt(r) {
+				on++
+			}
+		}
+		if on != 2 {
+			t.Fatalf("duty 0.5 over period 4 gave %d online rounds", on)
+		}
+		if p.OnlineAt(3) != p.OnlineAt(7) {
+			t.Fatal("trace availability is not periodic")
+		}
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	push := func(at float64, seq int) {
+		heap.Push(&q, &event{at: at, seq: seq})
+	}
+	push(3, 1)
+	push(1, 2)
+	push(1, 3)
+	push(0.5, 4)
+	push(1, 5)
+	wantSeq := []int{4, 2, 3, 5, 1}
+	for i, want := range wantSeq {
+		e := heap.Pop(&q).(*event)
+		if e.seq != want {
+			t.Fatalf("pop %d: got seq %d, want %d", i, e.seq, want)
+		}
+	}
+}
+
+// churnScenario is the shared stress scenario: heterogeneous fleet, 25%
+// churn, partial participation.
+func churnScenario(rounds int) Scenario {
+	return Scenario{
+		Fleet: FleetZipf, ZipfSkew: 1.5,
+		Churn: 0.25, Rejoin: 0.5, Participation: 0.75,
+		Rounds: rounds, EvalEvery: 4, Seed: 21,
+	}
+}
+
+// TestSimDeterminismAcrossWorkers is the sim's golden guarantee: the same
+// seed and scenario produce a bit-identical event timeline and final
+// accuracy whether the engine runs on one worker or eight.
+func TestSimDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		sys, split := simSystem(t, core.SchedAsync, 2, workers, 17)
+		s, err := New(sys, churnScenario(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatal("timelines diverge across worker counts")
+	}
+	if a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatalf("final accuracy diverges: %v vs %v", a.FinalAccuracy, b.FinalAccuracy)
+	}
+	c := run(1)
+	if !reflect.DeepEqual(a.Timeline, c.Timeline) || a.FinalAccuracy != c.FinalAccuracy {
+		t.Fatal("repeat run with identical seed diverges")
+	}
+}
+
+// TestAsyncBeatsSyncUnderChurn is the headline scenario property: with a
+// heterogeneous fleet and ≥20% churn, staleness-bounded async scheduling
+// commits the same number of rounds in less simulated wall-clock than the
+// synchronous barrier, on an identical availability/participation schedule.
+func TestAsyncBeatsSyncUnderChurn(t *testing.T) {
+	sc := churnScenario(10)
+	sc.Churn = 0.2
+	run := func(sched core.Sched, staleness int) *Result {
+		sys, split := simSystem(t, sched, staleness, 0, 17)
+		s, err := New(sys, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	syncRes := run(core.SchedSync, 0)
+	asyncRes := run(core.SchedAsync, 2)
+	if len(syncRes.Timeline) != len(asyncRes.Timeline) {
+		t.Fatalf("round counts differ: %d vs %d", len(syncRes.Timeline), len(asyncRes.Timeline))
+	}
+	if asyncRes.WallClock >= syncRes.WallClock {
+		t.Fatalf("async wall-clock %.3fs not below sync %.3fs", asyncRes.WallClock, syncRes.WallClock)
+	}
+	// The churn/participation schedule must be identical across disciplines:
+	// timing differs, availability must not.
+	for i := range syncRes.Timeline {
+		if syncRes.Timeline[i].Available != asyncRes.Timeline[i].Available ||
+			syncRes.Timeline[i].Participants != asyncRes.Timeline[i].Participants {
+			t.Fatalf("round %d: availability schedules diverge between disciplines", i)
+		}
+	}
+}
+
+// TestTimelineInvariants checks the structural sanity of a churny run:
+// monotone commits, bounded participation, positive traffic on training
+// rounds, and a usable final model.
+func TestTimelineInvariants(t *testing.T) {
+	sys, split := simSystem(t, core.SchedSync, 0, 0, 19)
+	s, err := New(sys, churnScenario(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 12 {
+		t.Fatalf("timeline has %d rounds, want 12", len(res.Timeline))
+	}
+	prev := 0.0
+	churned := false
+	for _, rs := range res.Timeline {
+		if rs.Commit < rs.Start || rs.Start < prev {
+			t.Fatalf("round %d: non-monotone clock (start %v commit %v prev %v)", rs.Round, rs.Start, rs.Commit, prev)
+		}
+		prev = rs.Commit
+		if rs.Participants > rs.Available || rs.Available > sys.G.N {
+			t.Fatalf("round %d: %d participants of %d available of %d devices", rs.Round, rs.Participants, rs.Available, sys.G.N)
+		}
+		if !rs.Skipped && (rs.Bytes <= 0 || rs.Participants == 0) {
+			t.Fatalf("round %d: trained with no traffic or participants: %+v", rs.Round, rs)
+		}
+		if rs.Joined > 0 || rs.Left > 0 {
+			churned = true
+		}
+	}
+	if !churned {
+		t.Fatal("25% churn over 12 rounds produced no join/leave events")
+	}
+	if res.WallClock != prev {
+		t.Fatalf("wall clock %v != last commit %v", res.WallClock, prev)
+	}
+	if res.FinalAccuracy <= 0 {
+		t.Fatalf("final accuracy %v", res.FinalAccuracy)
+	}
+	if res.TotalBytes <= 0 {
+		t.Fatal("no bytes on the wire")
+	}
+}
+
+// TestTraceFleetProducesChurn checks that the trace fleet drives
+// availability without the Bernoulli churn process.
+func TestTraceFleetProducesChurn(t *testing.T) {
+	sys, split := simSystem(t, core.SchedSync, 0, 0, 23)
+	sc := Scenario{Fleet: FleetTrace, TracePeriod: 4, TraceDuty: 0.5, Rounds: 8, Seed: 23}
+	s, err := New(sys, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOffline := false
+	for _, rs := range res.Timeline {
+		if rs.Available < sys.G.N {
+			sawOffline = true
+		}
+	}
+	if !sawOffline {
+		t.Fatal("trace fleet with duty 0.5 never took a device offline")
+	}
+}
+
+// TestStaleAppliedUnderAsync checks the engine coupling: a late update in
+// the simulated network must surface as a stale gradient application.
+func TestStaleAppliedUnderAsync(t *testing.T) {
+	sys, split := simSystem(t, core.SchedAsync, 2, 0, 17)
+	s, err := New(sys, churnScenario(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := 0
+	for _, rs := range res.Timeline {
+		late += rs.Late
+	}
+	if late == 0 {
+		t.Skip("scenario produced no late arrivals; nothing to check")
+	}
+	if res.StaleApplied == 0 {
+		t.Fatalf("%d late arrivals but no stale gradient applications", late)
+	}
+}
+
+// TestPermanentChurnDrainsFleet: with rejoin disabled (negative sentinel)
+// the fleet drains to zero and empty rounds are skipped — still advancing
+// the engine's round clock through the skip path.
+func TestPermanentChurnDrainsFleet(t *testing.T) {
+	sys, split := simSystem(t, core.SchedSync, 0, 0, 29)
+	sc := Scenario{Churn: 0.6, Rejoin: -1, Rounds: 12, Seed: 29}
+	s, err := New(sys, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 12 {
+		t.Fatalf("timeline has %d rounds, want 12", len(res.Timeline))
+	}
+	prevAvail := sys.G.N
+	sawEmpty := false
+	for _, rs := range res.Timeline {
+		if rs.Joined > 0 || rs.Available > prevAvail {
+			t.Fatalf("round %d: device rejoined despite Rejoin<0", rs.Round)
+		}
+		prevAvail = rs.Available
+		if rs.Available == 0 {
+			sawEmpty = true
+			if !rs.Skipped || rs.Participants != 0 || rs.Commit <= rs.Start {
+				t.Fatalf("empty round malformed: %+v", rs)
+			}
+		}
+	}
+	if !sawEmpty {
+		t.Fatal("60% permanent churn over 12 rounds never drained the fleet")
+	}
+}

@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lumos/internal/core"
+	"lumos/internal/graph"
+)
+
+// Simulator advances one Scenario over one assembled core.System.
+type Simulator struct {
+	sys      *core.System
+	sc       Scenario
+	profiles []Profile
+	up       []int64 // per-device upload bytes per participating round
+	model    int64   // model broadcast bytes
+	wl       []int   // per-device workloads (retained-neighbor counts)
+
+	avail    []bool
+	freeAt   []float64 // when each device's CPU frees up, virtual seconds
+	lag      []int     // consecutive commits each device has missed (async)
+	lastPart []int     // last round each device participated in (-1 = never)
+
+	q   eventQueue
+	seq int
+
+	churnRng  *rand.Rand
+	sampleRng *rand.Rand
+
+	commits []float64
+}
+
+// New prepares a simulator over an assembled system. The system's
+// Config.Sched and Config.Staleness select the aggregation discipline. Build
+// the system with Config.Shards == device count for exact per-device
+// participation; coarser shardings degrade gracefully to majority-vote shard
+// participation (see core.System.StepRoundSupervised).
+func New(sys *core.System, sc Scenario) (*Simulator, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("sim: nil system")
+	}
+	if sys.Cfg.Task != core.Supervised {
+		return nil, fmt.Errorf("sim: scenario simulation drives supervised systems (got %v)", sys.Cfg.Task)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	n := sys.G.N
+	profiles, err := BuildProfiles(sc, n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		sys:       sys,
+		sc:        sc,
+		profiles:  profiles,
+		up:        sys.DeviceUploadBytes(),
+		model:     sys.ModelBytes(),
+		wl:        sys.Workloads(),
+		avail:     make([]bool, n),
+		freeAt:    make([]float64, n),
+		lag:       make([]int, n),
+		lastPart:  make([]int, n),
+		churnRng:  rand.New(rand.NewSource(sc.Seed ^ 0x636875726e)),
+		sampleRng: rand.New(rand.NewSource(sc.Seed ^ 0x73616d706c65)),
+	}
+	for d := range s.avail {
+		s.avail[d] = profiles[d].OnlineAt(0)
+		s.lastPart[d] = -1
+	}
+	return s, nil
+}
+
+// Profiles exposes the fleet for inspection and reporting.
+func (s *Simulator) Profiles() []Profile {
+	return append([]Profile(nil), s.profiles...)
+}
+
+// Run simulates the scenario's rounds over the system and returns the
+// timeline. split supplies the training vertices (only present devices
+// contribute their local loss) and the test mask for accuracy points.
+func (s *Simulator) Run(split *graph.NodeSplit) (*Result, error) {
+	if split == nil {
+		return nil, fmt.Errorf("sim: nil node split")
+	}
+	n := s.sys.G.N
+	sched := s.sys.Cfg.Sched
+	bound := s.sys.Cfg.Staleness
+	res := &Result{}
+	prev := 0.0
+	for r := 0; r < s.sc.Rounds; r++ {
+		rs := RoundStats{Round: r, Start: prev}
+
+		// 1. Churn: join/leave events land on the queue at the round
+		// boundary and are processed in deterministic order.
+		s.scheduleChurn(r, prev)
+		s.drainBoundary(prev, &rs)
+		for _, a := range s.avail {
+			if a {
+				rs.Available++
+			}
+		}
+
+		// 2. Partial participation: sample K of the available devices.
+		participants := s.sample()
+		rs.Participants = len(participants)
+		if len(participants) == 0 {
+			// Nobody online: the fleet idles for one base interval, but the
+			// round still happens at the aggregator — queued stale gradients
+			// come due and the partial caches age (engine skip path).
+			out, err := s.sys.StepRoundSupervised(split, make([]bool, n), nil, s.sc.PartialTTL)
+			if err != nil {
+				return nil, fmt.Errorf("sim: round %d: %w", r, err)
+			}
+			rs.StaleApplied = out.StaleApplied
+			res.StaleApplied += out.StaleApplied
+			prev += s.sc.Cost.BaseCompute.Seconds() + s.sc.Cost.MsgLatency.Seconds()
+			rs.Commit, rs.Skipped = prev, true
+			s.commits = append(s.commits, prev)
+			res.Timeline = append(res.Timeline, rs)
+			continue
+		}
+
+		// 3. Compute-done and message-arrival events on the virtual clock.
+		// Under sync every participant waits for the latest model (the
+		// previous commit); under bounded staleness a device may start from
+		// any model at most `bound` commits old, so fast devices pipeline.
+		modelReady := prev
+		if sched == core.SchedAsync {
+			if idx := r - 1 - bound; idx >= 0 {
+				modelReady = s.commits[idx]
+			} else {
+				modelReady = 0
+			}
+		}
+		for _, d := range participants {
+			start := s.freeAt[d]
+			if start < modelReady {
+				start = modelReady
+			}
+			// Staleness-bounded catch-up: a device away longer than the lag
+			// budget re-downloads the model before it can compute.
+			gap := r + 1
+			if s.lastPart[d] >= 0 {
+				gap = r - s.lastPart[d]
+			}
+			if gap > bound+1 {
+				start += s.downTime(d)
+				rs.CatchUps++
+			}
+			s.push(evComputeDone, start+s.computeTime(d), d, r)
+		}
+		arr := make([]float64, n)
+		s.drainRound(arr)
+
+		// 4. Commit: barrier (sync) or quorum-plus-blocked-stragglers
+		// (async), then fold the round into the model.
+		commit, devDelay := s.commitRound(sched, bound, r, participants, arr, prev, &rs)
+
+		activeDev := make([]bool, n)
+		for _, d := range participants {
+			activeDev[d] = true
+		}
+		out, err := s.sys.StepRoundSupervised(split, activeDev, devDelay, s.sc.PartialTTL)
+		if err != nil {
+			return nil, fmt.Errorf("sim: round %d: %w", r, err)
+		}
+		rs.Loss = out.Loss
+		rs.Skipped = out.Skipped
+		rs.StaleApplied = out.StaleApplied
+		rs.Dropped = out.ExpiredParts
+		for _, d := range participants {
+			rs.Bytes += s.up[d]
+		}
+		// Downlink: the post-aggregation model broadcast to every
+		// participant, plus the catch-up re-downloads already charged to the
+		// timing model.
+		rs.Bytes += int64(len(participants)+rs.CatchUps) * s.model
+		rs.Commit = commit
+		s.commits = append(s.commits, commit)
+		prev = commit
+
+		if (s.sc.EvalEvery > 0 && (r+1)%s.sc.EvalEvery == 0) || r == s.sc.Rounds-1 {
+			acc, err := s.sys.EvaluateAccuracy(split.IsTest)
+			if err != nil {
+				return nil, fmt.Errorf("sim: round %d evaluation: %w", r, err)
+			}
+			rs.Accuracy, rs.Evaluated = acc, true
+		}
+		res.Timeline = append(res.Timeline, rs)
+		res.TotalBytes += rs.Bytes
+		res.StaleApplied += rs.StaleApplied
+		res.Dropped += rs.Dropped
+	}
+	s.sys.FinishRounds()
+	acc, err := s.sys.EvaluateAccuracy(split.IsTest)
+	if err != nil {
+		return nil, fmt.Errorf("sim: final evaluation: %w", err)
+	}
+	res.FinalAccuracy = acc
+	res.WallClock = prev
+	total := 0
+	for _, rs := range res.Timeline {
+		total += rs.Participants
+	}
+	res.MeanParticipants = float64(total) / float64(len(res.Timeline))
+	return res, nil
+}
+
+// scheduleChurn pushes this round's join/leave events at the round boundary.
+// The trace fleet transitions with its availability trace; other fleets draw
+// exactly one churn decision per device per round, so the availability
+// process is identical across scheduling modes and participation rates.
+func (s *Simulator) scheduleChurn(r int, at float64) {
+	if s.sc.Fleet == FleetTrace {
+		for d, p := range s.profiles {
+			if on := p.OnlineAt(r); on != s.avail[d] {
+				kind := evLeave
+				if on {
+					kind = evJoin
+				}
+				s.push(kind, at, d, r)
+			}
+		}
+		return
+	}
+	if r == 0 {
+		return // the whole fleet starts online
+	}
+	for d := range s.profiles {
+		u := s.churnRng.Float64()
+		if s.avail[d] {
+			if u < s.sc.Churn {
+				s.push(evLeave, at, d, r)
+			}
+		} else if u < s.sc.Rejoin {
+			s.push(evJoin, at, d, r)
+		}
+	}
+}
+
+// drainBoundary processes the join/leave events due at the round boundary.
+func (s *Simulator) drainBoundary(now float64, rs *RoundStats) {
+	for s.q.Len() > 0 && s.q[0].at <= now {
+		e := heap.Pop(&s.q).(*event)
+		switch e.kind {
+		case evLeave:
+			if s.avail[e.device] {
+				s.avail[e.device] = false
+				s.lag[e.device] = 0 // any in-flight lag resets; rejoin pays catch-up
+				rs.Left++
+			}
+		case evJoin:
+			if !s.avail[e.device] {
+				s.avail[e.device] = true
+				rs.Joined++
+			}
+		}
+	}
+}
+
+// drainRound runs the virtual clock until every in-flight compute and
+// message event has fired, recording each participant's arrival time.
+func (s *Simulator) drainRound(arr []float64) {
+	for s.q.Len() > 0 {
+		e := heap.Pop(&s.q).(*event)
+		switch e.kind {
+		case evComputeDone:
+			s.push(evArrival, e.at+s.xferTime(e.device), e.device, e.round)
+		case evArrival:
+			arr[e.device] = e.at
+		}
+	}
+}
+
+// sample draws this round's participants: ⌈Participation · available⌉
+// devices, chosen by a seeded permutation, returned in ascending id order.
+func (s *Simulator) sample() []int {
+	ids := make([]int, 0, len(s.avail))
+	for d, a := range s.avail {
+		if a {
+			ids = append(ids, d)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	k := int(math.Ceil(s.sc.Participation * float64(len(ids))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	perm := s.sampleRng.Perm(len(ids))
+	chosen := make([]int, 0, k)
+	for _, p := range perm[:k] {
+		chosen = append(chosen, ids[p])
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// commitRound closes round r: under sync the commit is a barrier on the
+// slowest participant; under async the aggregator commits once half the
+// participants have delivered, plus every straggler whose lag budget is
+// spent (lag == staleness bound) — bounding staleness exactly as the
+// engine's delayed-gradient queue assumes. Returns the commit time and the
+// per-device gradient delays (in rounds) to feed the engine.
+func (s *Simulator) commitRound(sched core.Sched, bound, r int, participants []int, arr []float64, prev float64, rs *RoundStats) (float64, []int) {
+	devDelay := make([]int, len(arr))
+	commit := prev
+	if sched == core.SchedSync {
+		for _, d := range participants {
+			if arr[d] > commit {
+				commit = arr[d]
+			}
+			s.lag[d] = 0
+		}
+	} else {
+		sorted := make([]float64, 0, len(participants))
+		for _, d := range participants {
+			sorted = append(sorted, arr[d])
+		}
+		sort.Float64s(sorted)
+		if t := sorted[(len(sorted)+1)/2-1]; t > commit {
+			commit = t
+		}
+		for _, d := range participants {
+			if s.lag[d] >= bound && arr[d] > commit {
+				commit = arr[d]
+			}
+		}
+		for _, d := range participants {
+			if arr[d] <= commit {
+				s.lag[d] = 0
+				continue
+			}
+			s.lag[d]++
+			if s.lag[d] > bound {
+				s.lag[d] = bound
+			}
+			devDelay[d] = s.lag[d]
+			rs.Late++
+		}
+	}
+	for _, d := range participants {
+		s.freeAt[d] = arr[d]
+		s.lastPart[d] = r
+	}
+	return commit, devDelay
+}
+
+// computeTime is device d's local forward/backward time in seconds: the
+// analytic cost model's per-epoch compute term scaled by the profile.
+func (s *Simulator) computeTime(d int) float64 {
+	c := s.sc.Cost
+	t := c.BaseCompute.Seconds() + float64(s.wl[d])*c.PerLeafPair.Seconds()
+	return t * s.profiles[d].Compute
+}
+
+// xferTime is device d's update-delivery time in seconds: link latency plus
+// its upload bytes over its share of bandwidth.
+func (s *Simulator) xferTime(d int) float64 {
+	c := s.sc.Cost
+	return c.MsgLatency.Seconds()*s.profiles[d].Latency +
+		float64(s.up[d])/(c.BytesPerSecond*s.profiles[d].Bandwidth)
+}
+
+// downTime is the model re-download a rejoining device pays to catch up.
+func (s *Simulator) downTime(d int) float64 {
+	c := s.sc.Cost
+	return c.MsgLatency.Seconds()*s.profiles[d].Latency +
+		float64(s.model)/(c.BytesPerSecond*s.profiles[d].Bandwidth)
+}
+
+// push schedules an event on the virtual clock.
+func (s *Simulator) push(kind eventKind, at float64, device, round int) {
+	s.seq++
+	heap.Push(&s.q, &event{at: at, seq: s.seq, kind: kind, device: device, round: round})
+}

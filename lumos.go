@@ -35,6 +35,24 @@
 // compute accordingly, so TrainStats.SimEpochTime reflects the freed
 // barrier. Async schedules derive deterministically from the workload
 // ranking — reruns reproduce bit-for-bit there too.
+//
+// # Scenario simulation (internal/sim)
+//
+// Beyond the analytic cost model, internal/sim provides a deterministic
+// discrete-event device-network simulator: a virtual clock orders
+// compute-done, message-arrival, and device join/leave events; per-device
+// profiles drawn from named fleets (uniform, zipf, trace) scale the cost
+// model's compute, bandwidth, and latency terms; and a SimScenario layers
+// churn, per-round partial participation, and staleness-bounded catch-up on
+// top. Each committed round drives the real training engine through
+// System.StepRoundSupervised — absent devices' shards are skipped (their
+// vertices serve cached embeddings until the cache ages out) and late
+// updates apply stale through the engine's delayed-gradient queue — so the
+// simulated timeline carries true losses and accuracies alongside simulated
+// wall-clock and wire bytes. The same seed and scenario reproduce the
+// identical timeline for every Workers value. Entry points: NewSimulator /
+// SimScenario here, the lumos-sim CLI, the examples/churnstudy walkthrough,
+// and the RunSimTimeline experiment runner.
 package lumos
 
 import (
@@ -44,6 +62,7 @@ import (
 	"lumos/internal/eval"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/sim"
 )
 
 // Graph and dataset handling.
@@ -134,6 +153,42 @@ func NewSystem(g, full *Graph, cfg Config) (*System, error) {
 	return core.NewSystem(g, full, cfg)
 }
 
+// Scenario simulation (see the package documentation).
+type (
+	// SimScenario configures one simulated deployment: fleet, churn,
+	// partial participation, rounds, cost model, seed.
+	SimScenario = sim.Scenario
+	// SimProfile is one device's capacity relative to the nominal device.
+	SimProfile = sim.Profile
+	// Simulator advances a scenario over an assembled System.
+	Simulator = sim.Simulator
+	// SimResult is a finished simulation: timeline plus summary metrics.
+	SimResult = sim.Result
+	// SimRoundStats is one entry of a simulated timeline.
+	SimRoundStats = sim.RoundStats
+	// Fleet names a device-profile distribution.
+	Fleet = sim.Fleet
+	// RoundOutcome reports one partial-participation training round.
+	RoundOutcome = core.RoundOutcome
+)
+
+// Fleet values.
+const (
+	FleetUniform = sim.FleetUniform
+	FleetZipf    = sim.FleetZipf
+	FleetTrace   = sim.FleetTrace
+)
+
+// ParseFleet parses a fleet name ("uniform", "zipf", or "trace").
+func ParseFleet(name string) (Fleet, error) { return sim.ParseFleet(name) }
+
+// NewSimulator prepares a discrete-event simulation of scenario sc over an
+// assembled system (build it with Config.Shards == device count for exact
+// per-device participation).
+func NewSimulator(sys *System, sc SimScenario) (*Simulator, error) {
+	return sim.New(sys, sc)
+}
+
 // Experiment harness (one runner per paper figure).
 type (
 	// ExperimentOptions scales the reproduction suite.
@@ -142,13 +197,16 @@ type (
 	ResultTable = eval.Table
 )
 
-// Experiment runners, one per paper artifact.
+// Experiment runners, one per paper artifact, plus the scenario-simulation
+// runner (RunSimTimeline replaces the single-number Fig. 8 cost estimate
+// with a simulated per-round timeline under both scheduling disciplines).
 var (
-	RunFig3     = eval.RunFig3
-	RunFig4     = eval.RunFig4
-	RunFig5     = eval.RunFig5
-	RunFig6     = eval.RunFig6
-	RunFig7     = eval.RunFig7
-	RunFig8     = eval.RunFig8
-	RunHeadline = eval.RunHeadline
+	RunFig3        = eval.RunFig3
+	RunFig4        = eval.RunFig4
+	RunFig5        = eval.RunFig5
+	RunFig6        = eval.RunFig6
+	RunFig7        = eval.RunFig7
+	RunFig8        = eval.RunFig8
+	RunHeadline    = eval.RunHeadline
+	RunSimTimeline = eval.RunSimTimeline
 )

@@ -21,7 +21,11 @@ var entryPoints = []struct {
 }{
 	{pkg: "./cmd/lumos-bench", run: false},
 	{pkg: "./cmd/lumos-datagen", run: true, args: []string{"-dataset", "facebook", "-scale", "0.005"}},
+	{pkg: "./cmd/lumos-sim", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10", "-sched", "both"}},
 	{pkg: "./cmd/lumos-train", run: false},
+	{pkg: "./examples/churnstudy", run: true, args: []string{
+		"-n", "60", "-m", "240", "-rounds", "6", "-mcmc", "10"}},
 	{pkg: "./examples/quickstart", run: true, args: []string{"-n", "60", "-m", "240", "-epochs", "3", "-mcmc", "10"}},
 	{pkg: "./examples/securecompare", run: true},
 	{pkg: "./examples/linkprediction", run: false},
