@@ -14,9 +14,11 @@ race:
 	go test -race -short ./internal/... ./...
 
 # Epoch benchmarks: BenchmarkEpochParallel reports its speedup over the
-# serial baseline as a custom metric.
+# serial baseline as a custom metric; -benchmem tracks the tape engine's
+# B/op and allocs/op (the allocation-regression budget lives in
+# internal/core/alloc_test.go and runs under `make ci`).
 bench:
-	go test -run xxx -bench 'BenchmarkEpoch' -benchtime 10x .
+	go test -run xxx -bench 'BenchmarkEpoch' -benchtime 10x -benchmem .
 
 ci:
 	./scripts/ci.sh

@@ -37,6 +37,7 @@ func main() {
 		workers = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
 		sched   = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
 		stale   = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
+		noTape  = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		Workers:        *workers,
 		Sched:          schedMode,
 		Staleness:      *stale,
+		NoTapeReuse:    *noTape,
 		Seed:           *seed,
 	}
 	for _, b := range strings.Split(*bbs, ",") {

@@ -38,6 +38,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
 		sched    = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
 		stale    = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
+		noTape   = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 	cfg := core.Config{
 		Epsilon: *eps, Epochs: *epochs, MCMCIterations: *mcmc,
 		SecureCompare: *secure, DisableVirtualNodes: *noVN, DisableTreeTrimming: *noTT,
-		Workers: *workers, Sched: schedMode, Staleness: *stale,
+		Workers: *workers, Sched: schedMode, Staleness: *stale, NoTapeReuse: *noTape,
 		Seed: *seed,
 	}
 	switch strings.ToLower(*backbone) {

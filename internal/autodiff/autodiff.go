@@ -3,12 +3,16 @@
 // (GCN, GAT, linear heads, the tree message passing, POOL) is expressed in
 // terms of the differentiable operations defined here.
 //
-// The design is graph-based rather than tape-based: each Value records its
-// parents and a backward closure, and Backward performs a depth-first
-// topological sort from the loss node. Parameters are long-lived Values
-// (created with Var); intermediates from past epochs become unreachable and
-// are garbage collected, so one parameter set can be reused across an
-// arbitrary number of forward/backward passes.
+// The engine is a tape: ops record their result nodes in construction order
+// onto the Tape carried by their inputs, so Backward on a tape-bound value
+// is a reverse linear sweep — no topological sort — and Tape.Reset recycles
+// every node and buffer for the next epoch (see Tape). Values created with
+// the package-level Var/Const constructors carry no tape; ops over them
+// allocate freshly and Backward falls back to a depth-first topological
+// sort, which is the right mode for long-lived parameters and one-off
+// graphs. The two modes mix freely: parameters are untaped leaves inside
+// taped epoch graphs, and a node whose parents disagree about their tape
+// simply drops to the untaped path.
 package autodiff
 
 import (
@@ -19,6 +23,11 @@ import (
 	"lumos/internal/tensor"
 )
 
+// backward computes one recorded op's parent gradients from v.Grad. Hot ops
+// use shared top-level functions here (no per-node closure allocation); the
+// op's payload lives in the Value's auxiliary fields.
+type backward func(v *Value)
+
 // Value is one node in the differentiation graph: a matrix plus, after
 // Backward, the gradient of the loss with respect to it.
 type Value struct {
@@ -28,8 +37,24 @@ type Value struct {
 	Grad *tensor.Matrix
 
 	requiresGrad bool
+	tape         *Tape // owning tape; nil for untaped values
+	ti           int   // index on the owning tape
 	parents      []*Value
-	backFn       func()
+	back         backward
+	// gradBuf retains the last detached-by-ZeroGrad gradient buffer of an
+	// untaped value so EnsureGrad can recycle it instead of reallocating.
+	gradBuf *tensor.Matrix
+
+	// Op payload. Which fields are live depends on the op; keeping them
+	// inline (instead of closed over) is what makes recording allocation-free
+	// once the tape's slab is warm. Cold ops (NoisyLabelCE) use a closure
+	// instead.
+	s     float64
+	n     int
+	ints  []int
+	ints2 []int
+	fs    []float64
+	mat   *tensor.Matrix
 }
 
 // Var wraps a matrix as a trainable leaf (gradients are accumulated).
@@ -45,8 +70,43 @@ func Const(m *tensor.Matrix) *Value {
 // RequiresGrad reports whether the value participates in differentiation.
 func (v *Value) RequiresGrad() bool { return v.requiresGrad }
 
-// ZeroGrad discards the stored gradient.
-func (v *Value) ZeroGrad() { v.Grad = nil }
+// ZeroGrad discards the stored gradient. The buffer is retained internally
+// and recycled by the next EnsureGrad, so parameters that are zeroed and
+// re-accumulated every epoch stop churning the allocator; the observable
+// semantics are unchanged (Grad == nil until a gradient arrives).
+func (v *Value) ZeroGrad() {
+	if v.Grad != nil {
+		v.gradBuf, v.Grad = v.Grad, nil
+	}
+}
+
+// EnsureGrad returns the gradient buffer, allocating (or recycling) a zeroed
+// one if none is attached: tape-bound values draw from their tape's
+// free-list, untaped values reuse the buffer retained by ZeroGrad.
+func (v *Value) EnsureGrad() *tensor.Matrix {
+	if v.Grad == nil {
+		r, c := v.Data.Dims()
+		switch {
+		case v.tape != nil:
+			v.Grad = v.tape.Matrix(r, c)
+		case v.gradBuf != nil && v.gradBuf.Rows() == r && v.gradBuf.Cols() == c:
+			v.Grad = v.gradBuf
+			v.Grad.Zero()
+		default:
+			v.Grad = tensor.New(r, c)
+		}
+	}
+	return v.Grad
+}
+
+// DetachGrad hands the gradient buffer to the caller and severs it from the
+// value entirely (no recycling), so the buffer can outlive the next
+// ZeroGrad/EnsureGrad cycle — e.g. queued for stale application.
+func (v *Value) DetachGrad() *tensor.Matrix {
+	g := v.Grad
+	v.Grad, v.gradBuf = nil, nil
+	return g
+}
 
 // Rows returns the row count of the underlying matrix.
 func (v *Value) Rows() int { return v.Data.Rows() }
@@ -67,16 +127,67 @@ func (v *Value) accum(g *tensor.Matrix) {
 	if !v.requiresGrad {
 		return
 	}
-	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Rows(), v.Data.Cols())
-	}
-	tensor.AddInPlace(v.Grad, g)
+	tensor.AddInPlace(v.EnsureGrad(), g)
 }
 
-// node builds an op result whose requiresGrad is inherited from parents.
-// backFn is only retained when some parent needs a gradient.
-func node(data *tensor.Matrix, backFn func(), parents ...*Value) *Value {
-	out := &Value{Data: data}
+// tapeFor returns the tape a new node should record onto: the unanimous
+// tape of its parents. It returns nil — selecting the untaped path, whose
+// depth-first backward can traverse anything — when no parent carries a
+// tape, when two parents carry different tapes, or when an untaped
+// non-leaf parent exists (its backward would be unreachable from a linear
+// sweep of the tape).
+func tapeFor(parents ...*Value) *Tape {
+	var t *Tape
+	for _, p := range parents {
+		switch {
+		case p.tape != nil:
+			if t == nil {
+				t = p.tape
+			} else if t != p.tape {
+				return nil
+			}
+		case p.back != nil:
+			return nil
+		}
+	}
+	return t
+}
+
+// newMatrix allocates a rows×cols output or scratch buffer: from the tape's
+// free-list when t is non-nil, freshly otherwise. A pooled buffer keeps its
+// previous contents — callers must fully overwrite it (accumulating
+// consumers use newZeroMatrix instead). The untaped path always returns a
+// zeroed matrix, so relying on stale contents is impossible to get right
+// accidentally: the reuse goldens compare the two paths bit for bit.
+func newMatrix(t *Tape, rows, cols int) *tensor.Matrix {
+	if t != nil {
+		m, _ := t.rawMatrix(rows, cols)
+		return m
+	}
+	return tensor.New(rows, cols)
+}
+
+// newZeroMatrix is newMatrix with guaranteed-zero contents, for outputs
+// that are accumulated into (scatter-adds, gradient buffers, dropout masks)
+// rather than fully written.
+func newZeroMatrix(t *Tape, rows, cols int) *tensor.Matrix {
+	if t != nil {
+		return t.Matrix(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}
+
+// newNode builds an op result on tape t (or untaped when t is nil) whose
+// requiresGrad is inherited from parents. The backward function and parent
+// list are only retained when some parent needs a gradient.
+func newNode(t *Tape, data *tensor.Matrix, bk backward, parents ...*Value) *Value {
+	var out *Value
+	if t != nil {
+		out = t.newValue()
+	} else {
+		out = &Value{}
+	}
+	out.Data = data
 	for _, p := range parents {
 		if p.requiresGrad {
 			out.requiresGrad = true
@@ -84,8 +195,8 @@ func node(data *tensor.Matrix, backFn func(), parents ...*Value) *Value {
 		}
 	}
 	if out.requiresGrad {
-		out.parents = parents
-		out.backFn = backFn
+		out.parents = append(out.parents[:0], parents...)
+		out.back = bk
 	}
 	return out
 }
@@ -96,10 +207,8 @@ func (v *Value) Backward() {
 	if v.Data.Rows() != 1 || v.Data.Cols() != 1 {
 		panic(fmt.Sprintf("autodiff: Backward on non-scalar %dx%d value", v.Data.Rows(), v.Data.Cols()))
 	}
-	if v.Grad == nil {
-		v.Grad = tensor.New(1, 1)
-	}
-	v.Grad.Set(0, 0, v.Grad.At(0, 0)+1)
+	g := v.EnsureGrad()
+	g.Set(0, 0, g.At(0, 0)+1)
 	v.propagate()
 }
 
@@ -116,7 +225,8 @@ func (v *Value) Backward() {
 // traversed subgraph. Sharing a Var between two concurrently differentiated
 // graphs is a data race; give each graph its own leaf (sharing the
 // underlying matrix data is fine) and reduce the gradient buffers
-// afterwards.
+// afterwards. The same applies to tapes: a Tape serves one goroutine at a
+// time.
 func (v *Value) BackwardWithGradient(seed *tensor.Matrix) {
 	if !v.requiresGrad {
 		return
@@ -129,14 +239,21 @@ func (v *Value) BackwardWithGradient(seed *tensor.Matrix) {
 	v.propagate()
 }
 
-// propagate runs the backward closures of the receiver's reachable subgraph
-// in reverse topological order. The receiver's Grad must already be seeded.
+// propagate runs the backward functions of the receiver's reachable
+// subgraph in reverse topological order. The receiver's Grad must already
+// be seeded. Tape-bound receivers sweep the tape linearly; untaped
+// receivers fall back to a depth-first topological sort, which also covers
+// graphs spanning several tapes.
 func (v *Value) propagate() {
+	if v.tape != nil {
+		v.tape.sweep(v.ti)
+		return
+	}
 	order := topoSort(v)
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
-		if n.Grad != nil && n.backFn != nil {
-			n.backFn()
+		if n.Grad != nil && n.back != nil {
+			n.back(n)
 		}
 	}
 }
@@ -176,92 +293,100 @@ func topoSort(root *Value) []*Value {
 
 // MatMul returns a·b.
 func MatMul(a, b *Value) *Value {
-	data := tensor.MatMul(a.Data, b.Data)
-	out := node(data, nil, a, b)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := out.Grad
-			if a.requiresGrad {
-				a.accum(tensor.MatMul(g, tensor.Transpose(b.Data)))
-			}
-			if b.requiresGrad {
-				b.accum(tensor.MatMul(tensor.Transpose(a.Data), g))
-			}
-		}
+	t := tapeFor(a, b)
+	data := newMatrix(t, a.Data.Rows(), b.Data.Cols())
+	tensor.MatMulInto(data, a.Data, b.Data)
+	return newNode(t, data, backMatMul, a, b)
+}
+
+func backMatMul(v *Value) {
+	a, b := v.parents[0], v.parents[1]
+	if a.requiresGrad {
+		tensor.MatMulNTAddInto(a.EnsureGrad(), v.Grad, b.Data)
 	}
-	return out
+	if b.requiresGrad {
+		tensor.MatMulTNAddInto(b.EnsureGrad(), a.Data, v.Grad)
+	}
 }
 
 // Add returns a + b (same shape).
 func Add(a, b *Value) *Value {
-	data := tensor.Add(a.Data, b.Data)
-	out := node(data, nil, a, b)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(out.Grad)
-			b.accum(out.Grad)
-		}
+	t := tapeFor(a, b)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	tensor.AddInto(data, a.Data, b.Data)
+	return newNode(t, data, backFanIn, a, b)
+}
+
+// backFanIn adds the output gradient to every parent — the backward of Add
+// and AddN.
+func backFanIn(v *Value) {
+	for _, p := range v.parents {
+		p.accum(v.Grad)
 	}
-	return out
 }
 
 // Sub returns a − b (same shape).
 func Sub(a, b *Value) *Value {
-	data := tensor.Sub(a.Data, b.Data)
-	out := node(data, nil, a, b)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(out.Grad)
-			if b.requiresGrad {
-				b.accum(tensor.Scale(out.Grad, -1))
-			}
-		}
-	}
-	return out
+	t := tapeFor(a, b)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	tensor.SubInto(data, a.Data, b.Data)
+	return newNode(t, data, backSub, a, b)
 }
 
-// AddRow adds the 1×c row vector v to every row of a.
-func AddRow(a, v *Value) *Value {
-	data := tensor.AddRowVector(a.Data, v.Data)
-	out := node(data, nil, a, v)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(out.Grad)
-			if v.requiresGrad {
-				v.accum(tensor.SumRows(out.Grad))
-			}
-		}
+func backSub(v *Value) {
+	a, b := v.parents[0], v.parents[1]
+	a.accum(v.Grad)
+	if b.requiresGrad {
+		tensor.AddScaledInPlace(b.EnsureGrad(), -1, v.Grad)
 	}
-	return out
+}
+
+// AddRow adds the 1×c row vector r to every row of a.
+func AddRow(a, r *Value) *Value {
+	t := tapeFor(a, r)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	tensor.AddRowVectorInto(data, a.Data, r.Data)
+	return newNode(t, data, backAddRow, a, r)
+}
+
+func backAddRow(v *Value) {
+	a, r := v.parents[0], v.parents[1]
+	a.accum(v.Grad)
+	if r.requiresGrad {
+		tensor.AddRowSumsInPlace(r.EnsureGrad(), v.Grad)
+	}
 }
 
 // MulElem returns the elementwise product a ⊙ b.
 func MulElem(a, b *Value) *Value {
-	data := tensor.MulElem(a.Data, b.Data)
-	out := node(data, nil, a, b)
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				a.accum(tensor.MulElem(out.Grad, b.Data))
-			}
-			if b.requiresGrad {
-				b.accum(tensor.MulElem(out.Grad, a.Data))
-			}
-		}
+	t := tapeFor(a, b)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	tensor.MulElemInto(data, a.Data, b.Data)
+	return newNode(t, data, backMulElem, a, b)
+}
+
+func backMulElem(v *Value) {
+	a, b := v.parents[0], v.parents[1]
+	if a.requiresGrad {
+		tensor.MulElemAddInto(a.EnsureGrad(), v.Grad, b.Data)
 	}
-	return out
+	if b.requiresGrad {
+		tensor.MulElemAddInto(b.EnsureGrad(), v.Grad, a.Data)
+	}
 }
 
 // Scale returns s·a for a constant s.
 func Scale(a *Value, s float64) *Value {
-	data := tensor.Scale(a.Data, s)
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(tensor.Scale(out.Grad, s))
-		}
-	}
+	t := tapeFor(a)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	tensor.ScaleInto(data, a.Data, s)
+	out := newNode(t, data, backScale, a)
+	out.s = s
 	return out
+}
+
+func backScale(v *Value) {
+	tensor.AddScaledInPlace(v.parents[0].EnsureGrad(), v.s, v.Grad)
 }
 
 // AddN sums any number of same-shape values.
@@ -269,19 +394,13 @@ func AddN(vs ...*Value) *Value {
 	if len(vs) == 0 {
 		panic("autodiff: AddN of nothing")
 	}
-	data := vs[0].Data.Clone()
+	t := tapeFor(vs...)
+	data := newMatrix(t, vs[0].Data.Rows(), vs[0].Data.Cols())
+	data.CopyFrom(vs[0].Data)
 	for _, v := range vs[1:] {
 		tensor.AddInPlace(data, v.Data)
 	}
-	out := node(data, nil, vs...)
-	if out.requiresGrad {
-		out.backFn = func() {
-			for _, v := range vs {
-				v.accum(out.Grad)
-			}
-		}
-	}
-	return out
+	return newNode(t, data, backFanIn, vs...)
 }
 
 // ---------------------------------------------------------------------------
@@ -290,86 +409,96 @@ func AddN(vs ...*Value) *Value {
 
 // ReLU returns max(0, a) elementwise.
 func ReLU(a *Value) *Value {
-	data := tensor.Apply(a.Data, func(x float64) float64 {
+	t := tapeFor(a)
+	data := newZeroMatrix(t, a.Data.Rows(), a.Data.Cols())
+	ad, od := a.Data.Data(), data.Data()
+	for i, x := range ad {
 		if x > 0 {
-			return x
-		}
-		return 0
-	})
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(a.Data.Rows(), a.Data.Cols())
-			ad, gd, od := a.Data.Data(), g.Data(), out.Grad.Data()
-			for i := range ad {
-				if ad[i] > 0 {
-					gd[i] = od[i]
-				}
-			}
-			a.accum(g)
+			od[i] = x
 		}
 	}
-	return out
+	return newNode(t, data, backReLU, a)
+}
+
+func backReLU(v *Value) {
+	a := v.parents[0]
+	gd := a.EnsureGrad().Data()
+	ad, od := a.Data.Data(), v.Grad.Data()
+	for i := range ad {
+		if ad[i] > 0 {
+			gd[i] += od[i]
+		}
+	}
 }
 
 // LeakyReLU returns x for x>0 and slope·x otherwise, elementwise.
 func LeakyReLU(a *Value, slope float64) *Value {
-	data := tensor.Apply(a.Data, func(x float64) float64 {
+	t := tapeFor(a)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	ad, od := a.Data.Data(), data.Data()
+	for i, x := range ad {
 		if x > 0 {
-			return x
-		}
-		return slope * x
-	})
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(a.Data.Rows(), a.Data.Cols())
-			ad, gd, od := a.Data.Data(), g.Data(), out.Grad.Data()
-			for i := range ad {
-				if ad[i] > 0 {
-					gd[i] = od[i]
-				} else {
-					gd[i] = slope * od[i]
-				}
-			}
-			a.accum(g)
+			od[i] = x
+		} else {
+			od[i] = slope * x
 		}
 	}
+	out := newNode(t, data, backLeakyReLU, a)
+	out.s = slope
 	return out
+}
+
+func backLeakyReLU(v *Value) {
+	a := v.parents[0]
+	gd := a.EnsureGrad().Data()
+	ad, od := a.Data.Data(), v.Grad.Data()
+	for i := range ad {
+		if ad[i] > 0 {
+			gd[i] += od[i]
+		} else {
+			gd[i] += v.s * od[i]
+		}
+	}
 }
 
 // Sigmoid returns 1/(1+e^{−a}) elementwise.
 func Sigmoid(a *Value) *Value {
-	data := tensor.Apply(a.Data, sigmoid)
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(a.Data.Rows(), a.Data.Cols())
-			sd, gd, od := out.Data.Data(), g.Data(), out.Grad.Data()
-			for i := range sd {
-				gd[i] = od[i] * sd[i] * (1 - sd[i])
-			}
-			a.accum(g)
-		}
+	t := tapeFor(a)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	ad, od := a.Data.Data(), data.Data()
+	for i, x := range ad {
+		od[i] = sigmoid(x)
 	}
-	return out
+	return newNode(t, data, backSigmoid, a)
+}
+
+func backSigmoid(v *Value) {
+	a := v.parents[0]
+	gd := a.EnsureGrad().Data()
+	sd, od := v.Data.Data(), v.Grad.Data()
+	for i := range sd {
+		gd[i] += od[i] * sd[i] * (1 - sd[i])
+	}
 }
 
 // Tanh returns tanh(a) elementwise.
 func Tanh(a *Value) *Value {
-	data := tensor.Apply(a.Data, math.Tanh)
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(a.Data.Rows(), a.Data.Cols())
-			td, gd, od := out.Data.Data(), g.Data(), out.Grad.Data()
-			for i := range td {
-				gd[i] = od[i] * (1 - td[i]*td[i])
-			}
-			a.accum(g)
-		}
+	t := tapeFor(a)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	ad, od := a.Data.Data(), data.Data()
+	for i, x := range ad {
+		od[i] = math.Tanh(x)
 	}
-	return out
+	return newNode(t, data, backTanh, a)
+}
+
+func backTanh(v *Value) {
+	a := v.parents[0]
+	gd := a.EnsureGrad().Data()
+	td, od := v.Data.Data(), v.Grad.Data()
+	for i := range td {
+		gd[i] += od[i] * (1 - td[i]*td[i])
+	}
 }
 
 // Dropout zeroes entries with probability p and rescales survivors by
@@ -381,22 +510,24 @@ func Dropout(a *Value, p float64, rng *rand.Rand, training bool) *Value {
 	if p >= 1 {
 		panic("autodiff: Dropout probability must be < 1")
 	}
+	t := tapeFor(a)
 	keep := 1 / (1 - p)
-	mask := tensor.New(a.Data.Rows(), a.Data.Cols())
+	mask := newZeroMatrix(t, a.Data.Rows(), a.Data.Cols())
 	md := mask.Data()
 	for i := range md {
 		if rng.Float64() >= p {
 			md[i] = keep
 		}
 	}
-	data := tensor.MulElem(a.Data, mask)
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(tensor.MulElem(out.Grad, mask))
-		}
-	}
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
+	tensor.MulElemInto(data, a.Data, mask)
+	out := newNode(t, data, backDropout, a)
+	out.mat = mask
 	return out
+}
+
+func backDropout(v *Value) {
+	tensor.MulElemAddInto(v.parents[0].EnsureGrad(), v.Grad, v.mat)
 }
 
 func sigmoid(x float64) float64 {

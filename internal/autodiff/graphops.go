@@ -11,19 +11,24 @@ import (
 // reductions. These are the primitives message passing compiles to: an edge
 // list (src, dst) turns "aggregate neighbor embeddings" into
 // SegmentSum(ScaleRows(Gather(H, src), coef), dst, n).
+//
+// Index and coefficient slices passed to these ops are retained by
+// reference until the owning tape is reset (or the node is collected); they
+// must stay unmodified for that long. The engine's per-shard index arrays
+// are immutable after construction, so they are shared across all epochs.
 
 // Gather returns the matrix whose i-th row is a.Row(idx[i]).
 func Gather(a *Value, idx []int) *Value {
-	data := tensor.Gather(a.Data, idx)
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(a.Data.Rows(), a.Data.Cols())
-			tensor.ScatterAddRows(g, out.Grad, idx)
-			a.accum(g)
-		}
-	}
+	t := tapeFor(a)
+	data := newMatrix(t, len(idx), a.Data.Cols())
+	tensor.GatherInto(data, a.Data, idx)
+	out := newNode(t, data, backGather, a)
+	out.ints = idx
 	return out
+}
+
+func backGather(v *Value) {
+	tensor.ScatterAddRows(v.parents[0].EnsureGrad(), v.Grad, v.ints)
 }
 
 // SegmentSum returns the nseg×c matrix whose row s is the sum of the rows i
@@ -32,15 +37,16 @@ func SegmentSum(a *Value, seg []int, nseg int) *Value {
 	if len(seg) != a.Data.Rows() {
 		panic(fmt.Sprintf("autodiff: SegmentSum %d segments for %d rows", len(seg), a.Data.Rows()))
 	}
-	data := tensor.New(nseg, a.Data.Cols())
+	t := tapeFor(a)
+	data := newZeroMatrix(t, nseg, a.Data.Cols())
 	tensor.ScatterAddRows(data, a.Data, seg)
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(tensor.Gather(out.Grad, seg))
-		}
-	}
+	out := newNode(t, data, backSegmentSum, a)
+	out.ints = seg
 	return out
+}
+
+func backSegmentSum(v *Value) {
+	tensor.GatherAddInto(v.parents[0].EnsureGrad(), v.Grad, v.ints)
 }
 
 // ScaleRows multiplies row i of a by the constant coef[i].
@@ -48,27 +54,28 @@ func ScaleRows(a *Value, coef []float64) *Value {
 	if len(coef) != a.Data.Rows() {
 		panic(fmt.Sprintf("autodiff: ScaleRows %d coefs for %d rows", len(coef), a.Data.Rows()))
 	}
-	data := tensor.New(a.Data.Rows(), a.Data.Cols())
+	t := tapeFor(a)
+	data := newMatrix(t, a.Data.Rows(), a.Data.Cols())
 	for i := 0; i < a.Data.Rows(); i++ {
 		row, orow := a.Data.Row(i), data.Row(i)
 		for j := range row {
 			orow[j] = coef[i] * row[j]
 		}
 	}
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(a.Data.Rows(), a.Data.Cols())
-			for i := 0; i < g.Rows(); i++ {
-				grow, orow := g.Row(i), out.Grad.Row(i)
-				for j := range grow {
-					grow[j] = coef[i] * orow[j]
-				}
-			}
-			a.accum(g)
+	out := newNode(t, data, backScaleRows, a)
+	out.fs = coef
+	return out
+}
+
+func backScaleRows(v *Value) {
+	g := v.parents[0].EnsureGrad()
+	for i := 0; i < g.Rows(); i++ {
+		grow, orow := g.Row(i), v.Grad.Row(i)
+		ci := v.fs[i]
+		for j := range grow {
+			grow[j] += ci * orow[j]
 		}
 	}
-	return out
 }
 
 // MulRowsByCol multiplies row i of a (n×c) by s.At(i,0), where s is an n×1
@@ -78,7 +85,8 @@ func MulRowsByCol(a, s *Value) *Value {
 	if s.Data.Rows() != n || s.Data.Cols() != 1 {
 		panic(fmt.Sprintf("autodiff: MulRowsByCol a %dx%d s %dx%d", n, c, s.Data.Rows(), s.Data.Cols()))
 	}
-	data := tensor.New(n, c)
+	t := tapeFor(a, s)
+	data := newMatrix(t, n, c)
 	for i := 0; i < n; i++ {
 		si := s.Data.At(i, 0)
 		row, orow := a.Data.Row(i), data.Row(i)
@@ -86,35 +94,33 @@ func MulRowsByCol(a, s *Value) *Value {
 			orow[j] = si * row[j]
 		}
 	}
-	out := node(data, nil, a, s)
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				g := tensor.New(n, c)
-				for i := 0; i < n; i++ {
-					si := s.Data.At(i, 0)
-					grow, orow := g.Row(i), out.Grad.Row(i)
-					for j := range grow {
-						grow[j] = si * orow[j]
-					}
-				}
-				a.accum(g)
-			}
-			if s.requiresGrad {
-				g := tensor.New(n, 1)
-				for i := 0; i < n; i++ {
-					arow, orow := a.Data.Row(i), out.Grad.Row(i)
-					d := 0.0
-					for j := range arow {
-						d += arow[j] * orow[j]
-					}
-					g.Set(i, 0, d)
-				}
-				s.accum(g)
+	return newNode(t, data, backMulRowsByCol, a, s)
+}
+
+func backMulRowsByCol(v *Value) {
+	a, s := v.parents[0], v.parents[1]
+	n := a.Data.Rows()
+	if a.requiresGrad {
+		g := a.EnsureGrad()
+		for i := 0; i < n; i++ {
+			si := s.Data.At(i, 0)
+			grow, orow := g.Row(i), v.Grad.Row(i)
+			for j := range grow {
+				grow[j] += si * orow[j]
 			}
 		}
 	}
-	return out
+	if s.requiresGrad {
+		g := s.EnsureGrad()
+		for i := 0; i < n; i++ {
+			arow, orow := a.Data.Row(i), v.Grad.Row(i)
+			d := 0.0
+			for j := range arow {
+				d += arow[j] * orow[j]
+			}
+			g.Set(i, 0, g.At(i, 0)+d)
+		}
+	}
 }
 
 // SegmentSoftmax normalizes the n×1 column e with a numerically stable
@@ -128,7 +134,8 @@ func SegmentSoftmax(e *Value, seg []int, nseg int) *Value {
 	if len(seg) != n {
 		panic(fmt.Sprintf("autodiff: SegmentSoftmax %d segments for %d rows", len(seg), n))
 	}
-	maxes := make([]float64, nseg)
+	t := tapeFor(e)
+	maxes := newMatrix(t, nseg, 1).Data()
 	for i := range maxes {
 		maxes[i] = math.Inf(-1)
 	}
@@ -137,8 +144,8 @@ func SegmentSoftmax(e *Value, seg []int, nseg int) *Value {
 			maxes[seg[i]] = v
 		}
 	}
-	sums := make([]float64, nseg)
-	data := tensor.New(n, 1)
+	sums := newZeroMatrix(t, nseg, 1).Data()
+	data := newMatrix(t, n, 1)
 	for i := 0; i < n; i++ {
 		ex := math.Exp(e.Data.At(i, 0) - maxes[seg[i]])
 		data.Set(i, 0, ex)
@@ -147,23 +154,24 @@ func SegmentSoftmax(e *Value, seg []int, nseg int) *Value {
 	for i := 0; i < n; i++ {
 		data.Set(i, 0, data.At(i, 0)/sums[seg[i]])
 	}
-	out := node(data, nil, e)
-	if out.requiresGrad {
-		out.backFn = func() {
-			// dL/de_i = α_i (g_i − Σ_{j∈seg(i)} α_j g_j)
-			dot := make([]float64, nseg)
-			for i := 0; i < n; i++ {
-				dot[seg[i]] += out.Data.At(i, 0) * out.Grad.At(i, 0)
-			}
-			g := tensor.New(n, 1)
-			for i := 0; i < n; i++ {
-				ai := out.Data.At(i, 0)
-				g.Set(i, 0, ai*(out.Grad.At(i, 0)-dot[seg[i]]))
-			}
-			e.accum(g)
-		}
-	}
+	out := newNode(t, data, backSegmentSoftmax, e)
+	out.ints = seg
+	out.n = nseg
 	return out
+}
+
+func backSegmentSoftmax(v *Value) {
+	// dL/de_i = α_i (g_i − Σ_{j∈seg(i)} α_j g_j)
+	e, seg, n := v.parents[0], v.ints, v.Data.Rows()
+	dot := newZeroMatrix(v.tape, v.n, 1).Data()
+	for i := 0; i < n; i++ {
+		dot[seg[i]] += v.Data.At(i, 0) * v.Grad.At(i, 0)
+	}
+	g := e.EnsureGrad()
+	for i := 0; i < n; i++ {
+		ai := v.Data.At(i, 0)
+		g.Set(i, 0, g.At(i, 0)+ai*(v.Grad.At(i, 0)-dot[seg[i]]))
+	}
 }
 
 // ConcatCols concatenates values horizontally (same row count).
@@ -171,29 +179,42 @@ func ConcatCols(vs ...*Value) *Value {
 	if len(vs) == 0 {
 		panic("autodiff: ConcatCols of nothing")
 	}
-	mats := make([]*tensor.Matrix, len(vs))
-	for i, v := range vs {
-		mats[i] = v.Data
+	t := tapeFor(vs...)
+	rows := vs[0].Data.Rows()
+	cols := 0
+	for _, v := range vs {
+		if v.Data.Rows() != rows {
+			panic(fmt.Sprintf("autodiff: ConcatCols rows %d vs %d", v.Data.Rows(), rows))
+		}
+		cols += v.Data.Cols()
 	}
-	data := tensor.HStack(mats...)
-	out := node(data, nil, vs...)
-	if out.requiresGrad {
-		out.backFn = func() {
-			off := 0
-			for _, v := range vs {
-				c := v.Data.Cols()
-				if v.requiresGrad {
-					g := tensor.New(v.Data.Rows(), c)
-					for i := 0; i < g.Rows(); i++ {
-						copy(g.Row(i), out.Grad.Row(i)[off:off+c])
-					}
-					v.accum(g)
+	data := newMatrix(t, rows, cols)
+	off := 0
+	for _, v := range vs {
+		c := v.Data.Cols()
+		for i := 0; i < rows; i++ {
+			copy(data.Row(i)[off:off+c], v.Data.Row(i))
+		}
+		off += c
+	}
+	return newNode(t, data, backConcatCols, vs...)
+}
+
+func backConcatCols(v *Value) {
+	off := 0
+	for _, p := range v.parents {
+		c := p.Data.Cols()
+		if p.requiresGrad {
+			g := p.EnsureGrad()
+			for i := 0; i < g.Rows(); i++ {
+				grow, orow := g.Row(i), v.Grad.Row(i)[off:off+c]
+				for j := range grow {
+					grow[j] += orow[j]
 				}
-				off += c
 			}
 		}
+		off += c
 	}
-	return out
 }
 
 // ConcatRows concatenates values vertically (same column count).
@@ -201,29 +222,41 @@ func ConcatRows(vs ...*Value) *Value {
 	if len(vs) == 0 {
 		panic("autodiff: ConcatRows of nothing")
 	}
-	mats := make([]*tensor.Matrix, len(vs))
-	for i, v := range vs {
-		mats[i] = v.Data
+	t := tapeFor(vs...)
+	cols := vs[0].Data.Cols()
+	rows := 0
+	for _, v := range vs {
+		if v.Data.Cols() != cols {
+			panic(fmt.Sprintf("autodiff: ConcatRows cols %d vs %d", v.Data.Cols(), cols))
+		}
+		rows += v.Data.Rows()
 	}
-	data := tensor.VStack(mats...)
-	out := node(data, nil, vs...)
-	if out.requiresGrad {
-		out.backFn = func() {
-			off := 0
-			for _, v := range vs {
-				r := v.Data.Rows()
-				if v.requiresGrad {
-					g := tensor.New(r, v.Data.Cols())
-					for i := 0; i < r; i++ {
-						copy(g.Row(i), out.Grad.Row(off+i))
-					}
-					v.accum(g)
+	data := newMatrix(t, rows, cols)
+	off := 0
+	for _, v := range vs {
+		for i := 0; i < v.Data.Rows(); i++ {
+			copy(data.Row(off+i), v.Data.Row(i))
+		}
+		off += v.Data.Rows()
+	}
+	return newNode(t, data, backConcatRows, vs...)
+}
+
+func backConcatRows(v *Value) {
+	off := 0
+	for _, p := range v.parents {
+		r := p.Data.Rows()
+		if p.requiresGrad {
+			g := p.EnsureGrad()
+			for i := 0; i < r; i++ {
+				grow, orow := g.Row(i), v.Grad.Row(off+i)
+				for j := range grow {
+					grow[j] += orow[j]
 				}
-				off += r
 			}
 		}
+		off += r
 	}
-	return out
 }
 
 // PairDot returns the m×1 column whose k-th entry is the dot product of rows
@@ -234,26 +267,28 @@ func PairDot(a *Value, idxU, idxV []int) *Value {
 		panic(fmt.Sprintf("autodiff: PairDot %d vs %d indices", len(idxU), len(idxV)))
 	}
 	m := len(idxU)
-	data := tensor.New(m, 1)
+	t := tapeFor(a)
+	data := newMatrix(t, m, 1)
 	for k := 0; k < m; k++ {
 		data.Set(k, 0, tensor.RowDot(a.Data, idxU[k], a.Data, idxV[k]))
 	}
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(a.Data.Rows(), a.Data.Cols())
-			for k := 0; k < m; k++ {
-				gk := out.Grad.At(k, 0)
-				u, v := idxU[k], idxV[k]
-				gu, gv := g.Row(u), g.Row(v)
-				au, av := a.Data.Row(u), a.Data.Row(v)
-				for j := range gu {
-					gu[j] += gk * av[j]
-					gv[j] += gk * au[j]
-				}
-			}
-			a.accum(g)
+	out := newNode(t, data, backPairDot, a)
+	out.ints = idxU
+	out.ints2 = idxV
+	return out
+}
+
+func backPairDot(v *Value) {
+	a := v.parents[0]
+	g := a.EnsureGrad()
+	for k := 0; k < len(v.ints); k++ {
+		gk := v.Grad.At(k, 0)
+		u, w := v.ints[k], v.ints2[k]
+		gu, gv := g.Row(u), g.Row(w)
+		au, av := a.Data.Row(u), a.Data.Row(w)
+		for j := range gu {
+			gu[j] += gk * av[j]
+			gv[j] += gk * au[j]
 		}
 	}
-	return out
 }

@@ -7,18 +7,20 @@ import (
 	"lumos/internal/tensor"
 )
 
-// Loss functions. Each returns a 1×1 Value suitable for Backward.
+// Loss functions. Each returns a 1×1 Value suitable for Backward. Label,
+// weight, and target slices are retained by reference like the index arrays
+// of the graph ops.
 
 // SumAll returns the sum of all entries as a 1×1 value.
 func SumAll(a *Value) *Value {
-	data := tensor.FromSlice(1, 1, []float64{tensor.Sum(a.Data)})
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(tensor.Full(a.Data.Rows(), a.Data.Cols(), out.Grad.At(0, 0)))
-		}
-	}
-	return out
+	t := tapeFor(a)
+	data := newMatrix(t, 1, 1)
+	data.Set(0, 0, tensor.Sum(a.Data))
+	return newNode(t, data, backSumAll, a)
+}
+
+func backSumAll(v *Value) {
+	tensor.AddConstInPlace(v.parents[0].EnsureGrad(), v.Grad.At(0, 0))
 }
 
 // MeanAll returns the mean of all entries as a 1×1 value.
@@ -36,14 +38,15 @@ func SumSquares(a *Value) *Value {
 	for _, v := range a.Data.Data() {
 		s += v * v
 	}
-	data := tensor.FromSlice(1, 1, []float64{s})
-	out := node(data, nil, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.accum(tensor.Scale(a.Data, 2*out.Grad.At(0, 0)))
-		}
-	}
-	return out
+	t := tapeFor(a)
+	data := newMatrix(t, 1, 1)
+	data.Set(0, 0, s)
+	return newNode(t, data, backSumSquares, a)
+}
+
+func backSumSquares(v *Value) {
+	a := v.parents[0]
+	tensor.AddScaledInPlace(a.EnsureGrad(), 2*v.Grad.At(0, 0), a.Data)
 }
 
 // SoftmaxCrossEntropy returns the weighted mean cross-entropy between
@@ -58,17 +61,16 @@ func SoftmaxCrossEntropy(logits *Value, labels []int, weights []float64) *Value 
 	if weights != nil && len(weights) != n {
 		panic(fmt.Sprintf("autodiff: SoftmaxCrossEntropy %d weights for %d rows", len(weights), n))
 	}
-	w := func(i int) float64 {
-		if weights == nil {
-			return 1
-		}
-		return weights[i]
-	}
-	probs := tensor.SoftmaxRows(logits.Data)
+	t := tapeFor(logits)
+	probs := newMatrix(t, n, c)
+	tensor.SoftmaxRowsInto(probs, logits.Data)
 	totalW := 0.0
 	loss := 0.0
 	for i := 0; i < n; i++ {
-		wi := w(i)
+		wi := 1.0
+		if weights != nil {
+			wi = weights[i]
+		}
 		if wi == 0 {
 			continue
 		}
@@ -84,27 +86,35 @@ func SoftmaxCrossEntropy(logits *Value, labels []int, weights []float64) *Value 
 		panic("autodiff: SoftmaxCrossEntropy with all-zero weights")
 	}
 	loss /= totalW
-	data := tensor.FromSlice(1, 1, []float64{loss})
-	out := node(data, nil, logits)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(n, c)
-			scale := out.Grad.At(0, 0) / totalW
-			for i := 0; i < n; i++ {
-				wi := w(i)
-				if wi == 0 {
-					continue
-				}
-				grow, prow := g.Row(i), probs.Row(i)
-				for j := range grow {
-					grow[j] = scale * wi * prow[j]
-				}
-				grow[labels[i]] -= scale * wi
-			}
-			logits.accum(g)
-		}
-	}
+	data := newMatrix(t, 1, 1)
+	data.Set(0, 0, loss)
+	out := newNode(t, data, backSoftmaxCE, logits)
+	out.ints = labels
+	out.fs = weights
+	out.mat = probs
+	out.s = totalW
 	return out
+}
+
+func backSoftmaxCE(v *Value) {
+	logits, probs := v.parents[0], v.mat
+	n := probs.Rows()
+	g := logits.EnsureGrad()
+	scale := v.Grad.At(0, 0) / v.s
+	for i := 0; i < n; i++ {
+		wi := 1.0
+		if v.fs != nil {
+			wi = v.fs[i]
+		}
+		if wi == 0 {
+			continue
+		}
+		grow, prow := g.Row(i), probs.Row(i)
+		for j := range grow {
+			grow[j] += scale * wi * prow[j]
+		}
+		grow[v.ints[i]] -= scale * wi
+	}
 }
 
 // NoisyLabelCE is the forward-correction cross-entropy for learning with
@@ -112,7 +122,9 @@ func SoftmaxCrossEntropy(logits *Value, labels []int, weights []float64) *Value 
 // T[i][j] = P(observed=j | true=i), the loss is −mean log((pᵀT)_ỹ). When the
 // observed labels come from randomized response, training against the
 // noise-adjusted distribution is a consistent estimator of the clean model
-// (Patrini et al.; used here by the LPGNN baseline).
+// (Patrini et al.; used here by the LPGNN baseline). A cold-path op: its
+// backward closes over the forward's intermediates instead of using the
+// tape's payload fields.
 func NoisyLabelCE(logits *Value, noisy []int, T [][]float64, weights []float64) *Value {
 	n, c := logits.Data.Dims()
 	if len(noisy) != n {
@@ -127,7 +139,9 @@ func NoisyLabelCE(logits *Value, noisy []int, T [][]float64, weights []float64) 
 		}
 		return weights[i]
 	}
-	probs := tensor.SoftmaxRows(logits.Data)
+	t := tapeFor(logits)
+	probs := newMatrix(t, n, c)
+	tensor.SoftmaxRowsInto(probs, logits.Data)
 	// q[i] = Σ_k p[i,k]·T[k][ỹ_i]
 	q := make([]float64, n)
 	totalW, loss := 0.0, 0.0
@@ -151,36 +165,32 @@ func NoisyLabelCE(logits *Value, noisy []int, T [][]float64, weights []float64) 
 		panic("autodiff: NoisyLabelCE with all-zero weights")
 	}
 	loss /= totalW
-	data := tensor.FromSlice(1, 1, []float64{loss})
-	out := node(data, nil, logits)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(n, c)
-			scale := out.Grad.At(0, 0) / totalW
-			for i := 0; i < n; i++ {
-				wi := w(i)
-				if wi == 0 {
-					continue
-				}
-				y := noisy[i]
-				qi := math.Max(q[i], 1e-12)
-				prow := probs.Row(i)
-				// dL/dp_ik = −w·T[k][y]/q; chain through softmax Jacobian.
-				dot := 0.0
-				dp := make([]float64, c)
-				for k := 0; k < c; k++ {
-					dp[k] = -wi * T[k][y] / qi
-					dot += dp[k] * prow[k]
-				}
-				grow := g.Row(i)
-				for k := 0; k < c; k++ {
-					grow[k] = scale * prow[k] * (dp[k] - dot)
-				}
+	data := newMatrix(t, 1, 1)
+	data.Set(0, 0, loss)
+	return newNode(t, data, func(out *Value) {
+		g := logits.EnsureGrad()
+		scale := out.Grad.At(0, 0) / totalW
+		for i := 0; i < n; i++ {
+			wi := w(i)
+			if wi == 0 {
+				continue
 			}
-			logits.accum(g)
+			y := noisy[i]
+			qi := math.Max(q[i], 1e-12)
+			prow := probs.Row(i)
+			// dL/dp_ik = −w·T[k][y]/q; chain through softmax Jacobian.
+			dot := 0.0
+			dp := make([]float64, c)
+			for k := 0; k < c; k++ {
+				dp[k] = -wi * T[k][y] / qi
+				dot += dp[k] * prow[k]
+			}
+			grow := g.Row(i)
+			for k := 0; k < c; k++ {
+				grow[k] += scale * prow[k] * (dp[k] - dot)
+			}
 		}
-	}
-	return out
+	}, logits)
 }
 
 // LogisticLoss returns the mean binary logistic loss over the n×1 score
@@ -207,21 +217,24 @@ func LogisticLoss(scores *Value, ys []float64) *Value {
 		loss += softplus(z)
 	}
 	loss /= float64(n)
-	data := tensor.FromSlice(1, 1, []float64{loss})
-	out := node(data, nil, scores)
-	if out.requiresGrad {
-		out.backFn = func() {
-			g := tensor.New(n, 1)
-			scale := out.Grad.At(0, 0) / float64(n)
-			for i := 0; i < n; i++ {
-				// d softplus(−y·s)/ds = −y·σ(−y·s)
-				z := -ys[i] * scores.Data.At(i, 0)
-				g.Set(i, 0, scale*-ys[i]*sigmoid(z))
-			}
-			scores.accum(g)
-		}
-	}
+	t := tapeFor(scores)
+	data := newMatrix(t, 1, 1)
+	data.Set(0, 0, loss)
+	out := newNode(t, data, backLogisticLoss, scores)
+	out.fs = ys
 	return out
+}
+
+func backLogisticLoss(v *Value) {
+	scores := v.parents[0]
+	n := scores.Data.Rows()
+	g := scores.EnsureGrad()
+	scale := v.Grad.At(0, 0) / float64(n)
+	for i := 0; i < n; i++ {
+		// d softplus(−y·s)/ds = −y·σ(−y·s)
+		z := -v.fs[i] * scores.Data.At(i, 0)
+		g.Set(i, 0, g.At(i, 0)+scale*-v.fs[i]*sigmoid(z))
+	}
 }
 
 // softplus computes log(1+e^x) without overflow.

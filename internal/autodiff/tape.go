@@ -1,0 +1,143 @@
+package autodiff
+
+import "lumos/internal/tensor"
+
+// tapeChunk is the Value-slab chunk size. Chunks have a fixed length so a
+// growing tape never relocates live Values — pointers handed out by node
+// constructors stay valid for the life of the tape.
+const tapeChunk = 256
+
+// bufPool is the free-list for one matrix shape: buffers checked out since
+// the last Reset live in bufs[:next], recyclable ones in bufs[next:].
+type bufPool struct {
+	bufs []*tensor.Matrix
+	next int
+}
+
+// Tape owns the memory of a differentiation graph that is rebuilt with the
+// same structure over and over — the training engine's per-epoch forward
+// pass. Ops record their result nodes onto the tape in construction order,
+// so Backward on a tape-bound value is a reverse linear sweep with no
+// topological sort; Reset recycles every node and every buffer (outputs,
+// gradients, op scratch) for the next epoch instead of dropping them to the
+// garbage collector. After the first epoch warms the arenas, steady-state
+// epochs allocate almost nothing.
+//
+// The tape enters a graph through its Var/Const leaves: any op whose inputs
+// carry a tape records onto that same tape and draws its buffers from the
+// tape's shape-keyed free-list. Ops over plain Var/Const leaves (no tape)
+// behave exactly as before — fresh allocations, depth-first backward — so
+// existing callers are untouched. Mixing values from two different tapes in
+// one op is allowed and falls back to the untaped path for that node.
+//
+// A Tape is not safe for concurrent use; give each worker its own (the
+// engine keeps one per shard). Reset must not run while any Value or matrix
+// handed out since the previous Reset is still in use — the memory is
+// recycled, not freed.
+type Tape struct {
+	chunks [][]Value
+	used   int
+	pools  map[int64]*bufPool
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape {
+	return &Tape{pools: make(map[int64]*bufPool)}
+}
+
+// Len returns the number of live nodes recorded since the last Reset.
+func (t *Tape) Len() int { return t.used }
+
+// Reset recycles every node and buffer recorded since the last Reset. All
+// Values and matrices previously handed out become invalid: the next epoch's
+// ops will reuse their memory.
+func (t *Tape) Reset() {
+	t.used = 0
+	for _, p := range t.pools {
+		p.next = 0
+	}
+}
+
+// Matrix checks a zeroed rows×cols buffer out of the tape's free-list,
+// growing it on first use. The buffer is owned by the tape and is recycled
+// by the next Reset.
+func (t *Tape) Matrix(rows, cols int) *tensor.Matrix {
+	m, recycled := t.rawMatrix(rows, cols)
+	if recycled {
+		m.Zero()
+	}
+	return m
+}
+
+// rawMatrix is Matrix without the zeroing sweep: a recycled buffer comes
+// back with its previous contents (recycled == true), a freshly grown one
+// zeroed. For ops that fully overwrite their output this skips a redundant
+// whole-buffer pass per checkout.
+func (t *Tape) rawMatrix(rows, cols int) (m *tensor.Matrix, recycled bool) {
+	key := int64(rows)<<32 | int64(uint32(cols))
+	p := t.pools[key]
+	if p == nil {
+		p = &bufPool{}
+		t.pools[key] = p
+	}
+	if p.next < len(p.bufs) {
+		m := p.bufs[p.next]
+		p.next++
+		return m, true
+	}
+	m = tensor.New(rows, cols)
+	p.bufs = append(p.bufs, m)
+	p.next++
+	return m, false
+}
+
+// newValue checks the next node out of the slab, growing it by one chunk
+// when exhausted. The node comes back field-reset, keeping only its parents
+// slice capacity (so steady-state epochs re-record parents without
+// allocating).
+func (t *Tape) newValue() *Value {
+	ci, off := t.used/tapeChunk, t.used%tapeChunk
+	if ci == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]Value, tapeChunk))
+	}
+	v := &t.chunks[ci][off]
+	parents := v.parents[:0]
+	*v = Value{tape: t, ti: t.used, parents: parents}
+	t.used++
+	return v
+}
+
+// Var records a trainable leaf on the tape. The matrix is caller-owned (not
+// recycled); the leaf's gradient buffer comes from the tape's free-list.
+func (t *Tape) Var(m *tensor.Matrix) *Value {
+	v := t.newValue()
+	v.Data = m
+	v.requiresGrad = true
+	return v
+}
+
+// Const records a non-trainable leaf on the tape. The matrix is
+// caller-owned.
+func (t *Tape) Const(m *tensor.Matrix) *Value {
+	v := t.newValue()
+	v.Data = m
+	return v
+}
+
+// at returns the node with tape index i.
+func (t *Tape) at(i int) *Value {
+	return &t.chunks[i/tapeChunk][i%tapeChunk]
+}
+
+// sweep runs the backward pass over nodes [0, from] in reverse recording
+// order. Recording order is a topological order (an op's parents exist
+// before it), so the reverse sweep visits every node after all its
+// consumers; nodes the seeded gradient never reached are skipped.
+func (t *Tape) sweep(from int) {
+	for i := from; i >= 0; i-- {
+		v := t.at(i)
+		if v.Grad != nil && v.back != nil {
+			v.back(v)
+		}
+	}
+}

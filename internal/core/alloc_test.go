@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lumos/internal/autodiff"
+	"lumos/internal/graph"
+	"lumos/internal/nn"
+)
+
+// Allocation-regression guard for the tape-based engine: once the per-shard
+// tapes are warm, a steady-state training epoch must stay under a small
+// fixed allocation budget. The budgets are ~4× the measured steady state
+// (tens of allocations — slice headers and closures in the round
+// bookkeeping), and orders of magnitude below the pre-tape engine
+// (thousands of allocations per epoch: every op output, gradient, and
+// scratch matrix was heap-allocated and GC'd). scripts/ci.sh runs these as
+// the allocation gate.
+
+// epochAllocBudget is the per-epoch allocation ceiling for a steady-state
+// supervised or unsupervised engine epoch with Workers=1 and 32 shards.
+// Measured: ~103 for either task (a few slice headers of round bookkeeping
+// per shard); the pre-tape engine sat in the thousands at the same
+// configuration.
+const epochAllocBudget = 250
+
+// allocSystem builds a single-worker system sized for the allocation tests.
+// Shards is pinned so the budget does not scale with the host's CPU count.
+func allocSystem(t *testing.T, task Task) *System {
+	t.Helper()
+	g := engineGraph(t, 21)
+	sys, err := NewSystem(g, g, Config{
+		Task: task, Epochs: 1, MCMCIterations: 10, Workers: 1, Shards: 32, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSupervisedEpochAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is unreliable under -short (race) runs")
+	}
+	sys := allocSystem(t, Supervised)
+	weights := make([]float64, sys.G.N)
+	for v := 0; v < sys.G.N; v++ {
+		if v%2 == 0 {
+			weights[v] = 1
+		}
+	}
+	lossFn := func(pooled *autodiff.Value) *autodiff.Value {
+		logits := sys.Head.Forward(pooled)
+		return autodiff.SoftmaxCrossEntropy(logits, sys.G.Labels, weights)
+	}
+	// Warm the tapes, slabs, and gradient buffers.
+	for i := 0; i < 3; i++ {
+		sys.eng.step(lossFn)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		sys.eng.step(lossFn)
+	})
+	if allocs > epochAllocBudget {
+		t.Fatalf("steady-state supervised epoch allocates %.0f times, budget %d", allocs, epochAllocBudget)
+	}
+}
+
+func TestUnsupervisedEpochAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is unreliable under -short (race) runs")
+	}
+	sys := allocSystem(t, Unsupervised)
+	// Fixed pair lists: samplePairs' slice growth is per-epoch input
+	// assembly, not engine work, and the trainer reuses the engine exactly
+	// like this with fresh slices.
+	idxU, idxV, ys, _ := sys.samplePairs()
+	if len(idxU) == 0 {
+		t.Fatal("no training pairs")
+	}
+	lossFn := func(pooled *autodiff.Value) *autodiff.Value {
+		scores := autodiff.PairDot(pooled, idxU, idxV)
+		return autodiff.LogisticLoss(scores, ys)
+	}
+	for i := 0; i < 3; i++ {
+		sys.eng.step(lossFn)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		sys.eng.step(lossFn)
+	})
+	if allocs > epochAllocBudget {
+		t.Fatalf("steady-state unsupervised epoch allocates %.0f times, budget %d", allocs, epochAllocBudget)
+	}
+}
+
+// TestTapeReuseMatchesFreshTapes is the tape-lifecycle golden at system
+// level: recycling the per-shard tapes across epochs (the default) must
+// produce bit-identical loss traces to rebuilding every tape from scratch
+// each epoch (Config.NoTapeReuse), for several epochs, both backbones, and
+// both tasks.
+func TestTapeReuseMatchesFreshTapes(t *testing.T) {
+	g := engineGraph(t, 22)
+	for _, bb := range []nn.Backbone{nn.GCN, nn.GAT} {
+		base := Config{Backbone: bb, Epochs: 5, MCMCIterations: 20, Workers: 2, Seed: 22}
+		fresh := base
+		fresh.NoTapeReuse = true
+
+		requireIdentical(t, bb.String()+"/supervised reuse vs fresh",
+			supervisedLosses(t, g, base), supervisedLosses(t, g, fresh))
+		requireIdentical(t, bb.String()+"/unsupervised reuse vs fresh",
+			unsupervisedLosses(t, g, base), unsupervisedLosses(t, g, fresh))
+	}
+}
+
+// TestTapeReuseMatchesFreshTapesAsync extends the golden to the async
+// scheduler, whose delayed-gradient queue detaches buffers from the view
+// parameters — the one place tape-era buffers outlive an epoch.
+func TestTapeReuseMatchesFreshTapesAsync(t *testing.T) {
+	g := engineGraph(t, 23)
+	base := Config{Epochs: 5, MCMCIterations: 20, Sched: SchedAsync, Staleness: 2, Workers: 2, Seed: 23}
+	fresh := base
+	fresh.NoTapeReuse = true
+	requireIdentical(t, "async reuse vs fresh",
+		supervisedLosses(t, g, base), supervisedLosses(t, g, fresh))
+}
+
+// TestEvaluationDoesNotPerturbTraining guards the tape-reset discipline
+// around evaluation: interleaving eval-mode forwards (which reset and
+// re-record the shard tapes) between training epochs must not change the
+// training trajectory.
+func TestEvaluationDoesNotPerturbTraining(t *testing.T) {
+	g := engineGraph(t, 24)
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(evalBetween bool) []float64 {
+		sys, err := NewSystem(g, g, Config{Task: Supervised, Epochs: 1, MCMCIterations: 20, Seed: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := make([]float64, sys.G.N)
+		for _, v := range split.Train {
+			weights[v] = 1
+		}
+		lossFn := func(pooled *autodiff.Value) *autodiff.Value {
+			return autodiff.SoftmaxCrossEntropy(sys.Head.Forward(pooled), sys.G.Labels, weights)
+		}
+		var losses []float64
+		for epoch := 0; epoch < 6; epoch++ {
+			losses = append(losses, sys.eng.step(lossFn))
+			if evalBetween {
+				if _, err := sys.EvaluateAccuracy(split.IsTest); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return losses
+	}
+	requireIdentical(t, "interleaved eval must not change training", run(false), run(true))
+}

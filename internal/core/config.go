@@ -4,10 +4,11 @@
 // per-device tree message passing, the cross-device POOL layer, and
 // supervised / unsupervised loss computation over the fed simulation fabric.
 //
-// All devices' trees are evaluated as one block-diagonal "forest" graph on a
-// single autodiff tape: that is numerically identical to every device
-// running its own tree and exchanging embeddings, while the fed.Network
-// still accounts each message a real deployment would send.
+// All devices' trees are evaluated as one block-diagonal "forest" graph,
+// sharded across per-worker autodiff tapes that are recycled every epoch:
+// that is numerically identical to every device running its own tree and
+// exchanging embeddings, while the fed.Network still accounts each message
+// a real deployment would send.
 package core
 
 import (
@@ -152,6 +153,13 @@ type Config struct {
 	// Staleness bounds, in epochs, how late a straggler shard's gradient may
 	// be applied under SchedAsync (default 1 when async; ignored when sync).
 	Staleness int
+
+	// NoTapeReuse forces the training engine to record each epoch on a fresh
+	// autodiff tape instead of recycling the per-shard tapes (the
+	// steady-state allocation-free path). The math is identical either way —
+	// this is a debugging escape hatch for suspected buffer-reuse issues,
+	// exposed as -notapereuse on the CLIs.
+	NoTapeReuse bool
 
 	Seed int64
 }

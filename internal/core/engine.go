@@ -70,15 +70,25 @@ type delayedGrads struct {
 type engine struct {
 	sys     *System
 	shards  []*shard
-	encs    []*nn.GNN    // per-shard shared-weight views of sys.Encoder
-	rngs    []*rand.Rand // per-shard dropout streams split from the root seed
+	encs    []*nn.GNN        // per-shard shared-weight views of sys.Encoder
+	rngs    []*rand.Rand     // per-shard dropout streams split from the root seed
+	tapes   []*autodiff.Tape // per-shard autodiff tapes, reset-and-reused every epoch
+	serial  *autodiff.Tape   // tape of the serial combine-and-loss phase
+	noReuse bool             // Config.NoTapeReuse: fresh tapes every epoch
 	workers int
 	delays  []int // per-shard staleness delay in epochs (all zero when sync)
 	queue   []delayedGrads
 	epoch   int
+	// Parameter lists are cached once: Params() allocates, and the epoch
+	// loop needs them every round.
+	viewParams [][]*nn.Param // per-shard view parameters, aligned with encParams
+	encParams  []*nn.Param   // the real encoder parameters
+	allParams  []*nn.Param   // encoder + head, the optimizer's param set
 	// lastParts/partAge cache each shard's most recent pooled partial for
 	// partial-participation rounds: an absent shard's vertices keep serving
-	// the embeddings its leaves last pushed, until the cache ages out.
+	// the embeddings its leaves last pushed, until the cache ages out. The
+	// cache owns its matrices (copied out of the shard tapes, which recycle
+	// theirs every epoch).
 	lastParts []*tensor.Matrix
 	partAge   []int
 }
@@ -92,18 +102,52 @@ func newEngine(s *System) *engine {
 	if target > s.G.N {
 		target = s.G.N
 	}
-	e := &engine{sys: s, workers: s.Cfg.Workers}
+	e := &engine{sys: s, workers: s.Cfg.Workers, noReuse: s.Cfg.NoTapeReuse}
 	e.shards = buildShards(s.Forest, s.Trees, target)
 	for i := range e.shards {
 		e.encs = append(e.encs, s.Encoder.CloneShared())
 		e.rngs = append(e.rngs, rand.New(rand.NewSource(s.Cfg.Seed^(int64(i+1)*0x1f3d5b79a7c6e42d))))
+		e.viewParams = append(e.viewParams, e.encs[i].Params())
 	}
+	e.tapes = make([]*autodiff.Tape, len(e.shards))
+	e.encParams = s.Encoder.Params()
+	e.allParams = s.Params()
 	staleness := 0
 	if s.Cfg.Sched == SchedAsync {
 		staleness = s.Cfg.Staleness
 	}
 	e.delays = shardDelays(e.shards, staleness)
 	return e
+}
+
+// shardTape returns shard i's tape ready for a fresh recording: reset for
+// reuse in the steady state, or brand new under Config.NoTapeReuse (and on
+// first use). Only shard i's worker may call this for i.
+func (e *engine) shardTape(i int) *autodiff.Tape {
+	if e.noReuse || e.tapes[i] == nil {
+		e.tapes[i] = autodiff.NewTape()
+	} else {
+		e.tapes[i].Reset()
+	}
+	return e.tapes[i]
+}
+
+// serialTape returns the combine-phase tape ready for a fresh recording.
+func (e *engine) serialTape() *autodiff.Tape {
+	if e.noReuse || e.serial == nil {
+		e.serial = autodiff.NewTape()
+	} else {
+		e.serial.Reset()
+	}
+	return e.serial
+}
+
+// zeroGrads clears the gradients of the real model parameters (buffers are
+// recycled in place by the next accumulation).
+func (e *engine) zeroGrads() {
+	for _, p := range e.allParams {
+		p.V.ZeroGrad()
+	}
 }
 
 // buildShards partitions the trees into at most target contiguous shards,
@@ -240,7 +284,10 @@ func (e *engine) forwardShards(training bool) []*autodiff.Value {
 }
 
 // forwardActive is forwardShards restricted to the active shards (nil means
-// all); inactive shards get a nil partial.
+// all); inactive shards get a nil partial. Each shard records onto its own
+// tape (taken fresh here, invalidating the previous epoch's Values and
+// buffers), so the partials' graphs are tape-backed: Backward on them is a
+// linear sweep, and their memory is recycled next epoch.
 func (e *engine) forwardActive(training bool, active []bool) []*autodiff.Value {
 	parts := make([]*autodiff.Value, len(e.shards))
 	e.parallel(func(i int) {
@@ -248,7 +295,7 @@ func (e *engine) forwardActive(training bool, active []bool) []*autodiff.Value {
 			return
 		}
 		sh := e.shards[i]
-		x := autodiff.Const(sh.x)
+		x := e.shardTape(i).Const(sh.x)
 		h := e.encs[i].Forward(sh.conv, x, training, e.rngs[i])
 		leaves := autodiff.Gather(h, sh.leafLocal)
 		scaled := autodiff.ScaleRows(leaves, sh.poolCoef)
@@ -296,7 +343,7 @@ type roundReport struct {
 // than partTTL rounds old, after which the contribution is dropped.
 func (e *engine) stepRound(active []bool, delays []int, partTTL int, lossFn func(pooled *autodiff.Value) *autodiff.Value) (float64, roundReport) {
 	s := e.sys
-	nn.ZeroGrad(s)
+	e.zeroGrads()
 	// The stale-partial cache only serves partial-participation rounds, so
 	// it is allocated lazily on first partial use — pure full-participation
 	// runs never pay the retention. Once allocated, every round (including
@@ -311,24 +358,33 @@ func (e *engine) stepRound(active []bool, delays []int, partTTL int, lossFn func
 	// Phase 1: parallel local forward + pool over the active shards.
 	parts := e.forwardActive(true, active)
 
-	// Phase 2: serial combine and loss. Cutting the graph at each fresh
-	// partial (a new leaf sharing the partial's data) keeps the expensive
-	// shard subgraphs out of this Backward; it stops at the cut leaves.
-	// Absent shards contribute their cached partial as a constant.
+	// Phase 2: serial combine and loss, recorded on the combine tape.
+	// Cutting the graph at each fresh partial (a new leaf sharing the
+	// partial's data) keeps the expensive shard subgraphs out of this
+	// Backward; it stops at the cut leaves. Absent shards contribute their
+	// cached partial as a constant.
+	st := e.serialTape()
 	cuts := make([]*autodiff.Value, len(parts))
 	terms := make([]*autodiff.Value, 0, len(parts))
 	for i, p := range parts {
 		switch {
 		case p != nil:
 			rep.activeShards++
-			cuts[i] = autodiff.Var(p.Data)
+			cuts[i] = st.Var(p.Data)
 			terms = append(terms, cuts[i])
 			if e.lastParts != nil {
-				e.lastParts[i], e.partAge[i] = p.Data, 0
+				// Copy the partial out of the shard tape: the cache must
+				// outlive the tape's next Reset.
+				if e.lastParts[i] == nil {
+					e.lastParts[i] = p.Data.Clone()
+				} else {
+					e.lastParts[i].CopyFrom(p.Data)
+				}
+				e.partAge[i] = 0
 			}
 		case e.lastParts[i] != nil && e.partAge[i] < partTTL:
 			e.partAge[i]++
-			terms = append(terms, autodiff.Const(e.lastParts[i]))
+			terms = append(terms, st.Const(e.lastParts[i]))
 		case e.lastParts[i] != nil:
 			// Expired: count the dropped contribution once and release the
 			// matrix; the shard contributes nothing until it computes again.
@@ -356,9 +412,15 @@ func (e *engine) stepRound(active []bool, delays []int, partTTL int, lossFn func
 		}
 	})
 
-	// Phase 4: deterministic reduction. Detach every active shard's view
-	// gradients and queue them; delay 0 releases immediately, larger values
-	// simulate stale delivery.
+	// Phase 4: deterministic reduction, in the same order as the historical
+	// queue-everything scheme: gradients from earlier epochs that come due
+	// now were queued first, so they apply first; then this epoch's
+	// immediate (delay-0) shard gradients in shard order. Immediate
+	// gradients fold straight into the real parameters and their view
+	// buffers are zeroed in place for next epoch's accumulation — only
+	// delayed gradients detach their buffers into the queue (the buffer
+	// must outlive the view's next backward).
+	rep.staleApplied = e.applyDue(e.epoch)
 	for i := range e.shards {
 		if parts[i] == nil {
 			continue
@@ -367,16 +429,23 @@ func (e *engine) stepRound(active []bool, delays []int, partTTL int, lossFn func
 		if delays != nil {
 			d = delays[i]
 		}
-		views := e.encs[i].Params()
+		views := e.viewParams[i]
+		if d == 0 {
+			for j, vp := range views {
+				if g := vp.V.Grad; g != nil {
+					tensor.AddInPlace(e.encParams[j].V.EnsureGrad(), g)
+					vp.V.ZeroGrad()
+				}
+			}
+			continue
+		}
 		grads := make([]*tensor.Matrix, len(views))
 		for j, vp := range views {
-			grads[j] = vp.V.Grad
-			vp.V.Grad = nil
+			grads[j] = vp.V.DetachGrad()
 		}
 		e.queue = append(e.queue, delayedGrads{computed: e.epoch, release: e.epoch + d, shard: i, grads: grads})
 	}
-	rep.staleApplied = e.applyDue(e.epoch)
-	s.opt.Step(s.Params())
+	s.opt.Step(e.allParams)
 	e.epoch++
 	return loss.Scalar(), rep
 }
@@ -387,14 +456,14 @@ func (e *engine) stepRound(active []bool, delays []int, partTTL int, lossFn func
 // gradients that come due, stepping the optimizer as the aggregator would,
 // and aging the stale-partial caches so their TTL counts real rounds.
 func (e *engine) skipRound() int {
-	nn.ZeroGrad(e.sys)
+	e.zeroGrads()
 	for i := range e.lastParts {
 		if e.lastParts[i] != nil {
 			e.partAge[i]++
 		}
 	}
 	stale := e.applyDue(e.epoch)
-	e.sys.opt.Step(e.sys.Params())
+	e.sys.opt.Step(e.allParams)
 	e.epoch++
 	return stale
 }
@@ -404,7 +473,6 @@ func (e *engine) skipRound() int {
 // a fixed order, so reduction stays bit-deterministic. Returns how many of
 // the applied gradients were computed in an earlier epoch (stale applies).
 func (e *engine) applyDue(epoch int) (stale int) {
-	realParams := e.sys.Encoder.Params()
 	kept := e.queue[:0]
 	for _, dg := range e.queue {
 		if dg.release > epoch {
@@ -418,11 +486,7 @@ func (e *engine) applyDue(epoch int) (stale int) {
 			if g == nil {
 				continue
 			}
-			p := realParams[j].V
-			if p.Grad == nil {
-				p.Grad = tensor.New(p.Data.Rows(), p.Data.Cols())
-			}
-			tensor.SumInto(p.Grad, g)
+			tensor.AddInPlace(e.encParams[j].V.EnsureGrad(), g)
 		}
 	}
 	e.queue = kept
@@ -436,8 +500,7 @@ func (e *engine) drain() {
 	if len(e.queue) == 0 {
 		return
 	}
-	s := e.sys
-	nn.ZeroGrad(s)
+	e.zeroGrads()
 	e.applyDue(math.MaxInt)
-	s.opt.Step(s.Params())
+	e.sys.opt.Step(e.allParams)
 }

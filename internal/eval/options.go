@@ -44,7 +44,11 @@ type Options struct {
 	Sched core.Sched
 	// Staleness is the async gradient-staleness bound (SchedAsync only).
 	Staleness int
-	Seed      int64
+	// NoTapeReuse disables the per-shard autodiff tape recycling in every
+	// trainer (fresh tape per epoch — the debugging escape hatch; results
+	// are identical either way).
+	NoTapeReuse bool
+	Seed        int64
 }
 
 // Dataset names used throughout the harness.
@@ -118,5 +122,6 @@ func (o *Options) engineCfg(cfg core.Config) core.Config {
 	cfg.Workers = o.Workers
 	cfg.Sched = o.Sched
 	cfg.Staleness = o.Staleness
+	cfg.NoTapeReuse = o.NoTapeReuse
 	return cfg
 }

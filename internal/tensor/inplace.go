@@ -1,0 +1,274 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// In-place and fused kernel variants. These write into caller-provided
+// destination buffers instead of allocating, which is what lets the autodiff
+// tape run steady-state epochs without touching the garbage collector: the
+// tape's shape-keyed free-list hands out recycled buffers and every hot op
+// fills them with one of the kernels below.
+//
+// Accumulating variants (…AddInto, …InPlace) require dst to hold the running
+// value; overwriting variants (…Into) fully define dst. All of them check
+// shapes and panic on mismatch, like the allocating kernels they mirror.
+
+// AddInto stores a + b into dst (all same shape).
+func AddInto(dst, a, b *Matrix) {
+	dst.sameShape(a, "AddInto")
+	a.sameShape(b, "AddInto")
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// SubInto stores a − b into dst (all same shape).
+func SubInto(dst, a, b *Matrix) {
+	dst.sameShape(a, "SubInto")
+	a.sameShape(b, "SubInto")
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// MulElemInto stores the Hadamard product a ⊙ b into dst (all same shape).
+func MulElemInto(dst, a, b *Matrix) {
+	dst.sameShape(a, "MulElemInto")
+	a.sameShape(b, "MulElemInto")
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+}
+
+// MulElemAddInto accumulates a ⊙ b into dst (all same shape).
+func MulElemAddInto(dst, a, b *Matrix) {
+	dst.sameShape(a, "MulElemAddInto")
+	a.sameShape(b, "MulElemAddInto")
+	for i := range dst.data {
+		dst.data[i] += a.data[i] * b.data[i]
+	}
+}
+
+// ScaleInto stores s·a into dst (same shape).
+func ScaleInto(dst, a *Matrix, s float64) {
+	dst.sameShape(a, "ScaleInto")
+	for i := range dst.data {
+		dst.data[i] = s * a.data[i]
+	}
+}
+
+// AddConstInPlace adds the scalar c to every entry of dst.
+func AddConstInPlace(dst *Matrix, c float64) {
+	for i := range dst.data {
+		dst.data[i] += c
+	}
+}
+
+// AddRowVectorInto stores a + v (v broadcast over rows) into dst.
+func AddRowVectorInto(dst, a, v *Matrix) {
+	dst.sameShape(a, "AddRowVectorInto")
+	if v.rows != 1 || v.cols != a.cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto %dx%d + %dx%d", a.rows, a.cols, v.rows, v.cols))
+	}
+	for i := 0; i < a.rows; i++ {
+		arow, drow := a.Row(i), dst.Row(i)
+		for j := range drow {
+			drow[j] = arow[j] + v.data[j]
+		}
+	}
+}
+
+// AddRowSumsInPlace accumulates the column sums of a into the 1×cols dst —
+// the backward of a broadcast row addition, fused with its accumulation.
+func AddRowSumsInPlace(dst, a *Matrix) {
+	if dst.rows != 1 || dst.cols != a.cols {
+		panic(fmt.Sprintf("tensor: AddRowSumsInPlace dst %dx%d for %dx%d", dst.rows, dst.cols, a.rows, a.cols))
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		for j := range arow {
+			dst.data[j] += arow[j]
+		}
+	}
+}
+
+// GatherInto stores the matrix whose i-th row is a.Row(idx[i]) into dst.
+func GatherInto(dst, a *Matrix, idx []int) {
+	if dst.rows != len(idx) || dst.cols != a.cols {
+		panic(fmt.Sprintf("tensor: GatherInto dst %dx%d for %d rows of %dx%d",
+			dst.rows, dst.cols, len(idx), a.rows, a.cols))
+	}
+	for i, r := range idx {
+		if r < 0 || r >= a.rows {
+			panic(fmt.Sprintf("tensor: GatherInto index %d out of range [0,%d)", r, a.rows))
+		}
+		copy(dst.Row(i), a.Row(r))
+	}
+}
+
+// GatherAddInto accumulates src.Row(idx[i]) into dst.Row(i) — the backward
+// of a segment sum, fused with its accumulation.
+func GatherAddInto(dst, src *Matrix, idx []int) {
+	if dst.rows != len(idx) || dst.cols != src.cols {
+		panic(fmt.Sprintf("tensor: GatherAddInto dst %dx%d for %d rows of %dx%d",
+			dst.rows, dst.cols, len(idx), src.rows, src.cols))
+	}
+	for i, r := range idx {
+		drow, srow := dst.Row(i), src.Row(r)
+		for j := range drow {
+			drow[j] += srow[j]
+		}
+	}
+}
+
+// SoftmaxRowsInto stores the row-wise softmax of a into dst, numerically
+// stabilized like SoftmaxRows.
+func SoftmaxRowsInto(dst, a *Matrix) {
+	dst.sameShape(a, "SoftmaxRowsInto")
+	for i := 0; i < a.rows; i++ {
+		row, orow := a.Row(i), dst.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+}
+
+// MatMulInto stores a·b into dst (dst is m×n for a m×k, b k×n). The kernel,
+// loop order, and parallel fan-out threshold match MatMul exactly, so the
+// two produce bit-identical results.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dims %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d for %dx%d product", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	dst.Zero()
+	workers := matMulWorkers(a.rows, a.cols, b.cols)
+	if workers <= 1 {
+		matMulRows(a, b, dst, 0, a.rows)
+		return
+	}
+	parallelRowBlocks(a.rows, workers, func(lo, hi int) {
+		matMulRows(a, b, dst, lo, hi)
+	})
+}
+
+// MatMulNTAddInto accumulates a·bᵀ into dst (dst m×k for a m×n, b k×n) —
+// the dX term of a matmul backward, fused so neither the transpose nor the
+// product allocates. Per-entry summation runs in ascending column order of
+// a, keeping results deterministic for any worker count.
+func MatMulNTAddInto(dst, a, b *Matrix) {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulNTAddInto inner dims %dx%d · (%dx%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("tensor: MatMulNTAddInto dst %dx%d for %dx%d product", dst.rows, dst.cols, a.rows, b.rows))
+	}
+	workers := matMulWorkers(a.rows, a.cols, b.rows)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k := 0; k < b.rows; k++ {
+				brow := b.Row(k)
+				s := 0.0
+				for j, av := range arow {
+					s += av * brow[j]
+				}
+				drow[k] += s
+			}
+		}
+	}
+	if workers <= 1 {
+		body(0, a.rows)
+		return
+	}
+	parallelRowBlocks(a.rows, workers, body)
+}
+
+// MatMulTNAddInto accumulates aᵀ·b into dst (dst k×n for a m×k, b m×n) —
+// the dW term of a matmul backward, fused like MatMulNTAddInto. Parallel
+// blocks split dst rows; every entry still sums over m in ascending order,
+// so results are deterministic for any worker count.
+func MatMulTNAddInto(dst, a, b *Matrix) {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("tensor: MatMulTNAddInto inner dims (%dx%d)ᵀ · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulTNAddInto dst %dx%d for %dx%d product", dst.rows, dst.cols, a.cols, b.cols))
+	}
+	workers := matMulWorkers(a.cols, a.rows, b.cols)
+	body := func(lo, hi int) {
+		for i := 0; i < a.rows; i++ {
+			arow, brow := a.Row(i), b.Row(i)
+			for k := lo; k < hi; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				drow := dst.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
+	if workers <= 1 {
+		body(0, dst.rows)
+		return
+	}
+	parallelRowBlocks(dst.rows, workers, body)
+}
+
+// matMulWorkers sizes the worker fan-out for an m×k·k×n-shaped kernel,
+// mirroring MatMul's flop threshold.
+func matMulWorkers(m, k, n int) int {
+	if flops := m * k * n; flops < matMulParallelThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > m {
+		w = m
+	}
+	return w
+}
+
+// parallelRowBlocks runs body over [0, rows) split into contiguous blocks,
+// one goroutine per block.
+func parallelRowBlocks(rows, workers int, body func(lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -3,46 +3,36 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
+
+// The allocating kernels below are thin wrappers over their Into/fused
+// twins in inplace.go, so each kernel has exactly one implementation.
 
 // Add returns a + b elementwise.
 func Add(a, b *Matrix) *Matrix {
-	a.sameShape(b, "Add")
 	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
+	AddInto(out, a, b)
 	return out
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Matrix) *Matrix {
-	a.sameShape(b, "Sub")
 	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
+	SubInto(out, a, b)
 	return out
 }
 
 // MulElem returns the Hadamard (elementwise) product a ⊙ b.
 func MulElem(a, b *Matrix) *Matrix {
-	a.sameShape(b, "MulElem")
 	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] * b.data[i]
-	}
+	MulElemInto(out, a, b)
 	return out
 }
 
 // Scale returns s·a.
 func Scale(a *Matrix, s float64) *Matrix {
 	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = s * a.data[i]
-	}
+	ScaleInto(out, a, s)
 	return out
 }
 
@@ -93,35 +83,14 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, b.cols)
-	workers := 1
-	if flops := a.rows * a.cols * b.cols; flops >= matMulParallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > a.rows {
-			workers = a.rows
-		}
-	}
+	workers := matMulWorkers(a.rows, a.cols, b.cols)
 	if workers <= 1 {
 		matMulRows(a, b, out, 0, a.rows)
 		return out
 	}
-	var wg sync.WaitGroup
-	chunk := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.rows {
-			hi = a.rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRows(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallelRowBlocks(a.rows, workers, func(lo, hi int) {
+		matMulRows(a, b, out, lo, hi)
+	})
 	return out
 }
 
@@ -156,26 +125,15 @@ func Transpose(a *Matrix) *Matrix {
 
 // AddRowVector returns a with the 1×cols row vector v added to every row.
 func AddRowVector(a, v *Matrix) *Matrix {
-	if v.rows != 1 || v.cols != a.cols {
-		panic(fmt.Sprintf("tensor: AddRowVector %dx%d + %dx%d", a.rows, a.cols, v.rows, v.cols))
-	}
 	out := New(a.rows, a.cols)
-	for i := 0; i < a.rows; i++ {
-		for j := 0; j < a.cols; j++ {
-			out.data[i*a.cols+j] = a.data[i*a.cols+j] + v.data[j]
-		}
-	}
+	AddRowVectorInto(out, a, v)
 	return out
 }
 
 // SumRows returns the 1×cols vector of column sums (summing down each column).
 func SumRows(a *Matrix) *Matrix {
 	out := New(1, a.cols)
-	for i := 0; i < a.rows; i++ {
-		for j := 0; j < a.cols; j++ {
-			out.data[j] += a.data[i*a.cols+j]
-		}
-	}
+	AddRowSumsInPlace(out, a)
 	return out
 }
 
@@ -208,12 +166,7 @@ func Apply(a *Matrix, f func(float64) float64) *Matrix {
 // Gather returns the matrix whose i-th row is a.Row(idx[i]).
 func Gather(a *Matrix, idx []int) *Matrix {
 	out := New(len(idx), a.cols)
-	for i, r := range idx {
-		if r < 0 || r >= a.rows {
-			panic(fmt.Sprintf("tensor: Gather index %d out of range [0,%d)", r, a.rows))
-		}
-		copy(out.Row(i), a.Row(r))
-	}
+	GatherInto(out, a, idx)
 	return out
 }
 
@@ -260,25 +213,7 @@ func ArgMaxRow(a *Matrix, i int) int {
 // SoftmaxRows returns row-wise softmax of a, numerically stabilized.
 func SoftmaxRows(a *Matrix) *Matrix {
 	out := New(a.rows, a.cols)
-	for i := 0; i < a.rows; i++ {
-		row := a.Row(i)
-		orow := out.Row(i)
-		mx := math.Inf(-1)
-		for _, v := range row {
-			if v > mx {
-				mx = v
-			}
-		}
-		sum := 0.0
-		for j, v := range row {
-			e := math.Exp(v - mx)
-			orow[j] = e
-			sum += e
-		}
-		for j := range orow {
-			orow[j] /= sum
-		}
-	}
+	SoftmaxRowsInto(out, a)
 	return out
 }
 

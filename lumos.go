@@ -27,6 +27,24 @@
 // trained weights are bit-identical for every Workers value. Workers is
 // purely a wall-clock knob.
 //
+// # Tape-based autodiff
+//
+// The differentiation substrate underneath the engine is a tape
+// (internal/autodiff.Tape): each shard records its epoch graph onto a
+// private tape in construction order, so backward is a reverse linear sweep
+// with no topological sort, and Tape.Reset recycles every node, output,
+// gradient, and scratch buffer through a shape-keyed free-list instead of
+// dropping them to the garbage collector. Because training runs thousands
+// of structurally identical epochs over a fixed forest, steady-state epochs
+// are essentially allocation-free: the serial epoch benchmark dropped from
+// ~5.8k allocations and ~200 MB allocated per epoch to ~114 allocations and
+// ~29 KB, and per-epoch wall time fell ~1.6×. Parameter gradients recycle
+// their buffers in place across ZeroGrad/backward cycles on every path,
+// taped or not. Config.NoTapeReuse (CLI -notapereuse) rebuilds the tapes
+// from scratch each epoch — bit-identical results, useful when debugging
+// suspected buffer-reuse issues — and an allocation-budget test in CI keeps
+// the steady state honest.
+//
 // Config.Sched selects the round schedule. SchedSync (default) is the
 // paper's lockstep protocol: every epoch aggregates all gradients and waits
 // for the straggler. SchedAsync simulates staleness-bounded asynchronous

@@ -2,10 +2,25 @@
 # CI gate: vet, build, full test suite, then the race-detector pass over the
 # training engine and everything that feeds it. Short mode keeps the race
 # pass (which slows execution ~10x) at a few minutes on a laptop.
+#
+# The full (non-short) test pass includes the allocation-regression guard
+# (internal/core/alloc_test.go): steady-state tape-engine epochs must stay
+# under a fixed allocation budget. It is re-run by name below so a renamed
+# or accidentally-skipped guard fails CI loudly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 go test ./...
+
+alloc_out=$(go test -run 'Test(Supervised|Unsupervised)EpochAllocBudget' -count=1 -v ./internal/core)
+for guard in TestSupervisedEpochAllocBudget TestUnsupervisedEpochAllocBudget; do
+	if ! grep -q -- "--- PASS: $guard" <<<"$alloc_out"; then
+		echo "allocation-regression guard $guard did not pass:" >&2
+		echo "$alloc_out" >&2
+		exit 1
+	fi
+done
+
 go test -race -short ./internal/... ./...

@@ -19,11 +19,19 @@ var entryPoints = []struct {
 	run  bool
 	args []string
 }{
-	{pkg: "./cmd/lumos-bench", run: false},
+	// lumos-bench exercises the -notapereuse escape hatch over the (cheap)
+	// workload-balance figure plus one short training run via fig3's
+	// centralized-vs-lumos comparison at minimal scale.
+	{pkg: "./cmd/lumos-bench", run: true, args: []string{
+		"-exp", "fig3", "-fbscale", "0.004", "-epochs", "2", "-mcmc", "5",
+		"-backbones", "gcn", "-datasets", "facebook", "-notapereuse"}},
 	{pkg: "./cmd/lumos-datagen", run: true, args: []string{"-dataset", "facebook", "-scale", "0.005"}},
 	{pkg: "./cmd/lumos-sim", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10", "-sched", "both"}},
-	{pkg: "./cmd/lumos-train", run: false},
+	// lumos-train runs at tiny scale with the fresh-tape-per-epoch escape
+	// hatch so the -notapereuse path cannot rot.
+	{pkg: "./cmd/lumos-train", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-epochs", "2", "-mcmc", "10", "-notapereuse"}},
 	{pkg: "./examples/churnstudy", run: true, args: []string{
 		"-n", "60", "-m", "240", "-rounds", "6", "-mcmc", "10"}},
 	{pkg: "./examples/quickstart", run: true, args: []string{"-n", "60", "-m", "240", "-epochs", "3", "-mcmc", "10"}},
