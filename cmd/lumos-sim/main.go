@@ -2,11 +2,14 @@
 // device-network simulator (internal/sim): a heterogeneous device fleet with
 // churn and partial participation trains round by round on a virtual clock,
 // and the per-round timeline — simulated wall-clock, bytes on the wire,
-// participation, loss, accuracy — is printed as a table.
+// participation, loss, evaluation metric — is printed as a table. The
+// simulator drives a core.Session, so -task selects either objective: node
+// classification (accuracy timeline) or link prediction (AUC timeline).
 //
 // Usage:
 //
 //	lumos-sim -dataset facebook -scale 0.02 -fleet zipf -churn 0.2 -rounds 30
+//	lumos-sim -task unsupervised -churn 0.2 -sched async
 //	lumos-sim -fleet trace -participation 0.5 -sched async -staleness 2
 //	lumos-sim -sched both -rounds 20 -csv
 package main
@@ -29,6 +32,7 @@ func main() {
 	var (
 		dataset   = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
 		scale     = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
+		task      = flag.String("task", "supervised", "training objective: supervised|unsupervised")
 		backbone  = flag.String("backbone", "gcn", "gcn|gat")
 		fleet     = flag.String("fleet", "zipf", "device fleet: uniform|zipf|trace")
 		zipfSkew  = flag.Float64("zipf", 1.2, "zipf fleet skew (slowest device ~2^skew x median)")
@@ -41,7 +45,7 @@ func main() {
 		sched     = flag.String("sched", "sync", "round scheduling: sync|async|both")
 		stale     = flag.Int("staleness", 2, "async gradient staleness bound in rounds")
 		ttl       = flag.Int("ttl", 2, "rounds an absent device's cached embeddings keep serving")
-		evalEvery = flag.Int("eval-every", 5, "evaluate test accuracy every k rounds")
+		evalEvery = flag.Int("eval-every", 5, "evaluate the test metric every k rounds")
 		mcmc      = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
 		eps       = flag.Float64("eps", 2, "privacy budget epsilon")
 		workers   = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
@@ -50,6 +54,8 @@ func main() {
 	)
 	flag.Parse()
 
+	taskKind, err := core.ParseTask(strings.ToLower(*task))
+	check(err)
 	fleetKind, err := sim.ParseFleet(*fleet)
 	check(err)
 	var bb nn.Backbone
@@ -73,10 +79,13 @@ func main() {
 
 	g, err := graph.LoadDataset(*dataset, *scale, *seed)
 	check(err)
-	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(*seed)))
+	// The task decides the split, the training graph, and the objective the
+	// session trains. Objectives bind to one system, so each discipline run
+	// below builds a fresh one from the factory.
+	trainGraph, newObjective, err := core.SplitForTask(g, taskKind, rand.New(rand.NewSource(*seed)))
 	check(err)
-	fmt.Printf("dataset %s: N=%d M=%d | fleet=%s churn=%.0f%% participation=%.0f%% rounds=%d\n",
-		g.Name, g.N, g.NumEdges(), fleetKind, 100**churn, 100**partic, *rounds)
+	fmt.Printf("dataset %s: N=%d M=%d | task=%s fleet=%s churn=%.0f%% participation=%.0f%% rounds=%d\n",
+		g.Name, g.N, g.NumEdges(), taskKind, fleetKind, 100**churn, 100**partic, *rounds)
 
 	scenario := sim.Scenario{
 		Fleet: fleetKind, ZipfSkew: *zipfSkew,
@@ -107,7 +116,7 @@ func main() {
 	var sums []summary
 	for _, mode := range scheds {
 		cfg := core.Config{
-			Task: core.Supervised, Backbone: bb,
+			Task: taskKind, Backbone: bb,
 			Epsilon: *eps, MCMCIterations: *mcmc,
 			Workers: *workers,
 			Shards:  g.N, // one device per shard: exact per-device participation
@@ -117,20 +126,20 @@ func main() {
 		if mode == core.SchedAsync {
 			cfg.Staleness = *stale
 		}
-		sys, err := core.NewSystem(g, g, cfg)
+		sys, err := core.NewSystem(trainGraph, g, cfg)
 		check(err)
 		s, err := sim.New(sys, scenario)
 		check(err)
-		res, err := s.Run(split)
+		res, err := s.Run(newObjective())
 		check(err)
 		sums = append(sums, summary{mode.String(), res})
 
 		printTimeline(mode.String(), res, *csv)
 	}
 	for _, s := range sums {
-		fmt.Printf("%-5s: wall-clock %8.3fs  bytes %12d  avg participants %5.1f  final accuracy %.4f  stale %d  dropped %d\n",
+		fmt.Printf("%-5s: wall-clock %8.3fs  bytes %12d  avg participants %5.1f  final %s %.4f  stale %d  dropped %d\n",
 			s.sched, s.res.WallClock, s.res.TotalBytes, s.res.MeanParticipants,
-			s.res.FinalAccuracy, s.res.StaleApplied, s.res.Dropped)
+			s.res.Metric, s.res.FinalMetric, s.res.StaleApplied, s.res.Dropped)
 	}
 	if len(sums) == 2 && sums[1].res.WallClock > 0 {
 		// sums[0] is sync, sums[1] async (the -sched both order).
@@ -142,12 +151,12 @@ func main() {
 func printTimeline(sched string, res *sim.Result, csv bool) {
 	t := &eval.Table{
 		Title:   fmt.Sprintf("Simulated timeline (%s scheduling)", sched),
-		Columns: []string{"round", "start(s)", "commit(s)", "avail", "part", "join", "leave", "late", "catchup", "stale", "drop", "bytes", "loss", "acc"},
+		Columns: []string{"round", "start(s)", "commit(s)", "avail", "part", "join", "leave", "late", "catchup", "stale", "drop", "bytes", "loss", res.Metric},
 	}
 	for _, rs := range res.Timeline {
-		acc := ""
+		metric := ""
 		if rs.Evaluated {
-			acc = fmt.Sprintf("%.4f", rs.Accuracy)
+			metric = fmt.Sprintf("%.4f", rs.Metric)
 		}
 		loss := fmt.Sprintf("%.4f", rs.Loss)
 		if rs.Skipped {
@@ -155,7 +164,7 @@ func printTimeline(sched string, res *sim.Result, csv bool) {
 		}
 		t.AddRow(rs.Round, fmt.Sprintf("%.3f", rs.Start), fmt.Sprintf("%.3f", rs.Commit),
 			rs.Available, rs.Participants, rs.Joined, rs.Left,
-			rs.Late, rs.CatchUps, rs.StaleApplied, rs.Dropped, rs.Bytes, loss, acc)
+			rs.Late, rs.CatchUps, rs.StaleApplied, rs.Dropped, rs.Bytes, loss, metric)
 	}
 	check(t.Render(os.Stdout))
 	if csv {

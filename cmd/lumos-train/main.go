@@ -46,6 +46,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	taskKind, err := core.ParseTask(strings.ToLower(*task))
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	g, err := graph.LoadDataset(*dataset, *scale, *seed)
 	check(err)
@@ -54,6 +58,7 @@ func main() {
 		g.Name, st.N, st.M, st.AvgDeg, st.MaxDeg, st.Classes, st.FeatureDim)
 
 	cfg := core.Config{
+		Task:    taskKind,
 		Epsilon: *eps, Epochs: *epochs, MCMCIterations: *mcmc,
 		SecureCompare: *secure, DisableVirtualNodes: *noVN, DisableTreeTrimming: *noTT,
 		Workers: *workers, Sched: schedMode, Staleness: *stale, NoTapeReuse: *noTape,
@@ -70,9 +75,8 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	start := time.Now()
-	switch strings.ToLower(*task) {
-	case "supervised":
-		cfg.Task = core.Supervised
+	switch taskKind {
+	case core.Supervised:
 		split, err := graph.SplitNodes(g, 0.5, 0.25, rng)
 		check(err)
 		sys, err := core.NewSystem(g, g, cfg)
@@ -86,8 +90,7 @@ func main() {
 		printStats(stats, *epochs)
 		fmt.Printf("test accuracy: %.4f\n", acc)
 		maybeSave(*save, sys)
-	case "unsupervised":
-		cfg.Task = core.Unsupervised
+	case core.Unsupervised:
 		es, err := graph.SplitEdges(g, 0.8, 0.05, rng)
 		check(err)
 		sys, err := core.NewSystem(es.TrainGraph, g, cfg)

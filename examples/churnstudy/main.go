@@ -68,7 +68,7 @@ func main() {
 		fatal(err)
 		s, err := sim.New(sys, scenario)
 		fatal(err)
-		res, err := s.Run(split)
+		res, err := s.Run(core.NewSupervisedObjective(split))
 		fatal(err)
 		return res
 	}
@@ -81,7 +81,7 @@ func main() {
 	fmt.Printf("%-28s %12d %12d\n", "bytes on the wire", syncRes.TotalBytes, asyncRes.TotalBytes)
 	fmt.Printf("%-28s %12.1f %12.1f\n", "avg participants/round", syncRes.MeanParticipants, asyncRes.MeanParticipants)
 	fmt.Printf("%-28s %12d %12d\n", "stale gradient applies", syncRes.StaleApplied, asyncRes.StaleApplied)
-	fmt.Printf("%-28s %12.4f %12.4f\n", "final test accuracy", syncRes.FinalAccuracy, asyncRes.FinalAccuracy)
+	fmt.Printf("%-28s %12.4f %12.4f\n", "final test accuracy", syncRes.FinalMetric, asyncRes.FinalMetric)
 
 	if asyncRes.WallClock >= syncRes.WallClock {
 		fmt.Printf("\nCHECK FAILED: async wall-clock %.3fs did not beat sync %.3fs\n",

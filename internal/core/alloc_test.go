@@ -74,7 +74,7 @@ func TestUnsupervisedEpochAllocBudget(t *testing.T) {
 	// Fixed pair lists: samplePairs' slice growth is per-epoch input
 	// assembly, not engine work, and the trainer reuses the engine exactly
 	// like this with fresh slices.
-	idxU, idxV, ys, _ := sys.samplePairs()
+	idxU, idxV, ys, _ := sys.samplePairs(nil, nil, nil, nil)
 	if len(idxU) == 0 {
 		t.Fatal("no training pairs")
 	}
@@ -90,6 +90,41 @@ func TestUnsupervisedEpochAllocBudget(t *testing.T) {
 	})
 	if allocs > epochAllocBudget {
 		t.Fatalf("steady-state unsupervised epoch allocates %.0f times, budget %d", allocs, epochAllocBudget)
+	}
+}
+
+// TestUnsupervisedSessionAllocBudget extends the allocation gate to the
+// full session path for the task with per-epoch sampling: a steady-state
+// Session.Step — negative-sampling pair draw (pooled idxU/idxV/ys buffers),
+// engine epoch, traffic accounting, stats append — must stay within the
+// same budget. Before the pair buffers were pooled, every epoch rebuilt the
+// three slices from nil (a dozen-plus grow-reallocations over thousands of
+// pairs each).
+func TestUnsupervisedSessionAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is unreliable under -short (race) runs")
+	}
+	sys := allocSystem(t, Unsupervised)
+	// A nil edge split: validation-based model selection is not part of the
+	// steady state being measured (the supervised trainer's is interleaved
+	// eval, already covered by TestEvaluationDoesNotPerturbTraining).
+	sess, err := sys.NewSession(NewUnsupervisedObjective(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		if _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the tapes, slabs, gradient buffers, pair buffers, and the stats
+	// slices.
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(10, step)
+	if allocs > epochAllocBudget {
+		t.Fatalf("steady-state unsupervised session step allocates %.0f times, budget %d", allocs, epochAllocBudget)
 	}
 }
 

@@ -80,6 +80,19 @@ func (t Task) String() string {
 	}
 }
 
+// ParseTask parses a task name as used in CLI flags, mirroring ParseSched.
+// "node" and "link" are accepted as shorthands for the two objectives.
+func ParseTask(name string) (Task, error) {
+	switch name {
+	case "supervised", "node":
+		return Supervised, nil
+	case "unsupervised", "link":
+		return Unsupervised, nil
+	default:
+		return 0, fmt.Errorf("core: unknown task %q (want supervised|unsupervised)", name)
+	}
+}
+
 // Config collects every Lumos hyperparameter. Zero values select the
 // paper's experimental settings where they exist.
 type Config struct {

@@ -3,16 +3,16 @@ package core
 import (
 	"fmt"
 
-	"lumos/internal/autodiff"
 	"lumos/internal/graph"
 )
 
-// This file is the round-level driving surface used by internal/sim: a
-// discrete-event simulator samples participants each round, derives
-// per-device gradient delays from simulated message arrivals, and steps the
-// engine one round at a time instead of running a whole TrainSupervised
-// loop. Everything here stays bit-deterministic for a fixed seed and
-// participation schedule, for every Workers value.
+// This file holds the round-level outcome type and the task-agnostic
+// round helpers consumed by Session.StepRound — the driving surface
+// internal/sim uses: a discrete-event simulator samples participants each
+// round, derives per-device gradient delays from simulated message
+// arrivals, and steps the engine one round at a time instead of running a
+// whole epoch loop. Everything here stays bit-deterministic for a fixed
+// seed and participation schedule, for every Workers value.
 
 // RoundOutcome reports one partial-participation training round.
 type RoundOutcome struct {
@@ -33,67 +33,34 @@ type RoundOutcome struct {
 }
 
 // StepRoundSupervised runs one supervised training round restricted to the
-// given participants: active[v] marks device v as present this round. Only
-// present devices compute, contribute loss terms for their own vertices, and
-// send gradients; the vertices of absent devices keep serving the pooled
-// embeddings their leaves last pushed, until that cache is more than partTTL
-// rounds old.
+// given participants: active[v] marks device v as present this round.
 //
-// delays (optional, per device, in rounds) postpones a participant's
-// gradient application — the caller's staleness schedule, typically derived
-// from simulated message arrival times; nil applies every gradient
-// immediately. Participation and delays are lifted to shard granularity: a
-// shard is active when at least half of its devices are present (exact when
-// the system was built with Shards == N, one device per shard — the
-// simulator default), and a shard's delay is the largest delay among its
-// present devices.
+// Deprecated: build a Session over NewSupervisedObjective and call
+// Session.StepRound — the session API serves every task, not just node
+// classification. This wrapper drives a lazily-created session keyed by the
+// split and remains only for callers of the pre-session API.
 func (s *System) StepRoundSupervised(split *graph.NodeSplit, active []bool, delays []int, partTTL int) (RoundOutcome, error) {
 	if s.Cfg.Task != Supervised {
 		return RoundOutcome{}, fmt.Errorf("core: StepRoundSupervised on %v system", s.Cfg.Task)
 	}
-	if split == nil {
-		return RoundOutcome{}, fmt.Errorf("core: nil node split")
-	}
 	if len(active) != s.G.N {
 		return RoundOutcome{}, fmt.Errorf("core: %d participation flags for %d devices", len(active), s.G.N)
 	}
-	if delays != nil && len(delays) != s.G.N {
-		return RoundOutcome{}, fmt.Errorf("core: %d delays for %d devices", len(delays), s.G.N)
-	}
-	if partTTL < 0 {
-		return RoundOutcome{}, fmt.Errorf("core: negative partial TTL %d", partTTL)
-	}
-	weights := make([]float64, s.G.N)
-	usable := false
-	for _, v := range split.Train {
-		if active[v] {
-			weights[v] = 1
-			usable = true
+	if s.legacySess == nil || s.legacySplit != split {
+		sess, err := s.NewSession(NewSupervisedObjective(split))
+		if err != nil {
+			return RoundOutcome{}, err
 		}
+		s.legacySess, s.legacySplit = sess, split
 	}
-	if !usable {
-		// No participant holds a training vertex: nothing to learn from, but
-		// the round still happened — stale gradients come due and the
-		// optimizer steps, as the aggregator would.
-		return RoundOutcome{Skipped: true, StaleApplied: s.eng.skipRound()}, nil
-	}
-	s.accountEpochTraffic(active)
-	shardActive, shardDelay := s.eng.mapDevices(active, delays)
-	loss, rep := s.eng.stepRound(shardActive, shardDelay, partTTL, func(pooled *autodiff.Value) *autodiff.Value {
-		logits := s.Head.Forward(pooled)
-		return autodiff.SoftmaxCrossEntropy(logits, s.G.Labels, weights)
-	})
-	return RoundOutcome{
-		Loss:         loss,
-		ActiveShards: rep.activeShards,
-		StaleApplied: rep.staleApplied,
-		ExpiredParts: rep.expiredParts,
-	}, nil
+	return s.legacySess.StepRound(RoundPlan{Active: active, Delays: delays, TTL: partTTL})
 }
 
 // FinishRounds applies every still-queued stale gradient in one terminal
 // synchronous step, mirroring the final barrier of a bounded-staleness
-// deployment. Call it once after the last StepRoundSupervised.
+// deployment.
+//
+// Deprecated: use Session.FinishRounds.
 func (s *System) FinishRounds() {
 	s.eng.drain()
 }
@@ -132,14 +99,19 @@ func (s *System) ModelBytes() int64 {
 // mapDevices lifts per-device participation and delays to shard granularity:
 // a shard is active when at least half of its devices (and at least one) are
 // present, and an active shard's delay is the largest delay among its
-// present devices. With one device per shard the mapping is exact.
+// present devices. With one device per shard the mapping is exact. A nil
+// active mask means full participation; with nil delays too, the engine's
+// own all-active fast path (nil, nil) is selected.
 func (e *engine) mapDevices(active []bool, delays []int) ([]bool, []int) {
+	if active == nil && delays == nil {
+		return nil, nil
+	}
 	sa := make([]bool, len(e.shards))
 	sd := make([]int, len(e.shards))
 	for i, sh := range e.shards {
 		on := 0
 		for v := sh.lo; v < sh.hi; v++ {
-			if active[v] {
+			if active == nil || active[v] {
 				on++
 			}
 		}
@@ -148,7 +120,7 @@ func (e *engine) mapDevices(active []bool, delays []int) ([]bool, []int) {
 			continue
 		}
 		for v := sh.lo; v < sh.hi; v++ {
-			if active[v] && delays[v] > sd[i] {
+			if (active == nil || active[v]) && delays[v] > sd[i] {
 				sd[i] = delays[v]
 			}
 		}

@@ -34,6 +34,11 @@ type System struct {
 	Head    *nn.Linear // supervised head; nil for unsupervised
 	opt     *nn.Adam
 	eng     *engine
+
+	// legacySess/legacySplit back the deprecated StepRoundSupervised
+	// wrapper: one cached session per node split.
+	legacySess  *Session
+	legacySplit *graph.NodeSplit
 }
 
 // NewSystem builds a Lumos system: devices are instantiated, the tree

@@ -39,95 +39,42 @@ func (s *System) forward(training bool) *autodiff.Value {
 // TrainSupervised runs cfg.Epochs of supervised training: every device with
 // a training-set vertex contributes its local cross-entropy (labels never
 // leave the device); losses and gradients are aggregated synchronously and
-// the shared model takes an Adam step (paper §VI-C a).
+// the shared model takes an Adam step (paper §VI-C a). It is a thin loop
+// over a Session with a supervised Objective.
 func (s *System) TrainSupervised(split *graph.NodeSplit) (*TrainStats, error) {
-	if s.Cfg.Task != Supervised {
-		return nil, fmt.Errorf("core: TrainSupervised on %v system", s.Cfg.Task)
+	sess, err := s.NewSession(NewSupervisedObjective(split))
+	if err != nil {
+		return nil, err
 	}
-	if split == nil {
-		return nil, fmt.Errorf("core: nil node split")
-	}
-	weights := make([]float64, s.G.N)
-	for _, v := range split.Train {
-		weights[v] = 1
-	}
-	stats := &TrainStats{}
-	bestVal, bestSnap := -1.0, []*tensor.Matrix(nil)
-	start := time.Now()
-	for epoch := 0; epoch < s.Cfg.Epochs; epoch++ {
-		before := s.Net.Snapshot()
-		loss := s.eng.step(func(pooled *autodiff.Value) *autodiff.Value {
-			logits := s.Head.Forward(pooled)
-			return autodiff.SoftmaxCrossEntropy(logits, s.G.Labels, weights)
-		})
-		s.accountEpochTraffic(nil)
-		stats.Losses = append(stats.Losses, loss)
-		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
-		// Validation-based model selection: each device evaluates its own
-		// prediction locally, so this costs one extra (eval-mode) forward.
-		if len(split.Val) > 0 && (epoch%s.Cfg.EvalEvery == 0 || epoch == s.Cfg.Epochs-1) {
-			if acc, err := s.EvaluateAccuracy(split.IsVal); err == nil && acc > bestVal {
-				bestVal = acc
-				bestSnap = nn.Snapshot(s)
-			}
-		}
-	}
-	s.eng.drain()
-	if bestSnap != nil {
-		nn.Restore(s, bestSnap)
-	}
-	stats.MeasuredTime = time.Since(start)
-	s.finishStats(stats)
-	return stats, nil
+	return sess.runEpochs()
 }
 
 // TrainUnsupervised runs cfg.Epochs of link-prediction training with
 // negative sampling (paper §VI-C b, Eq. 33). Positive pairs come from each
 // device's retained neighbor set; negatives are sampled by each device
 // among vertices it knows are not its neighbors in the full graph. val may
-// be nil; when present, its validation edges drive model selection.
+// be nil; when present, its validation edges drive model selection. It is a
+// thin loop over a Session with an unsupervised Objective.
 func (s *System) TrainUnsupervised(val *graph.EdgeSplit) (*TrainStats, error) {
-	if s.Cfg.Task != Unsupervised {
-		return nil, fmt.Errorf("core: TrainUnsupervised on %v system", s.Cfg.Task)
+	sess, err := s.NewSession(NewUnsupervisedObjective(val))
+	if err != nil {
+		return nil, err
 	}
-	stats := &TrainStats{}
-	bestVal, bestSnap := -1.0, []*tensor.Matrix(nil)
-	start := time.Now()
-	for epoch := 0; epoch < s.Cfg.Epochs; epoch++ {
-		before := s.Net.Snapshot()
-		idxU, idxV, ys, negCount := s.samplePairs()
-		if len(idxU) == 0 {
-			return nil, fmt.Errorf("core: no training pairs (empty retained sets)")
-		}
-		loss := s.eng.step(func(pooled *autodiff.Value) *autodiff.Value {
-			scores := autodiff.PairDot(pooled, idxU, idxV)
-			return autodiff.LogisticLoss(scores, ys)
-		})
-		s.accountEpochTraffic(nil)
-		s.accountNegSampling(negCount)
-		stats.Losses = append(stats.Losses, loss)
-		stats.EpochTraffic = append(stats.EpochTraffic, s.Net.Diff(before))
-		if val != nil && len(val.Val) > 0 && (epoch%s.Cfg.EvalEvery == 0 || epoch == s.Cfg.Epochs-1) {
-			if auc, err := s.EvaluateAUC(val.Val, val.ValNeg); err == nil && auc > bestVal {
-				bestVal = auc
-				bestSnap = nn.Snapshot(s)
-			}
-		}
-	}
-	s.eng.drain()
-	if bestSnap != nil {
-		nn.Restore(s, bestSnap)
-	}
-	stats.MeasuredTime = time.Since(start)
-	s.finishStats(stats)
-	return stats, nil
+	return sess.runEpochs()
 }
 
-// samplePairs builds the per-epoch positive and negative pair lists.
-// Returns parallel index slices, ±1 targets, and the number of negative
-// fetches for traffic accounting.
-func (s *System) samplePairs() (idxU, idxV []int, ys []float64, negCount int) {
+// samplePairs builds one step's positive and negative pair lists for the
+// active devices (nil = everyone), appending into the caller's buffers so
+// steady-state sampling reuses their capacity. Returns the (re-sliced)
+// parallel index slices, ±1 targets, and the number of negative fetches for
+// traffic accounting. Each device draws from its own private RNG stream, so
+// skipping absent devices never perturbs the draws of present ones.
+func (s *System) samplePairs(idxU, idxV []int, ys []float64, active []bool) ([]int, []int, []float64, int) {
+	negCount := 0
 	for u := 0; u < s.G.N; u++ {
+		if active != nil && !active[u] {
+			continue
+		}
 		ret := s.Balanced.Retained[u]
 		for _, v := range ret {
 			idxU = append(idxU, u)

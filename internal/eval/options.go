@@ -36,6 +36,12 @@ type Options struct {
 	Backbones []nn.Backbone
 	// Datasets to evaluate (default both presets).
 	Datasets []string
+	// Task selects the objective the scenario-simulation runner drives
+	// (default core.Supervised — node classification with an accuracy
+	// timeline; core.Unsupervised simulates link prediction with an AUC
+	// timeline). The per-figure runners ignore it: each figure fixes its
+	// own task.
+	Task core.Task
 	// Workers sizes every trainer's worker pool (0 = one per CPU). Results
 	// are bit-identical for any value; this only changes wall-clock time.
 	Workers int

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"lumos/internal/core"
-	"lumos/internal/graph"
 	"lumos/internal/sim"
 )
 
@@ -13,28 +12,35 @@ import (
 // reports (TrainStats.SimEpochTime) with a full simulated timeline from
 // internal/sim: the analytic model supplies the per-event costs, and the
 // discrete-event simulator plays them out over a heterogeneous, churning
-// fleet under both scheduling disciplines.
+// fleet under both scheduling disciplines. Options.Task selects the
+// objective — the simulator drives a core.Session, so node classification
+// and link prediction run through the same machinery.
 
 // SimTimelineResult summarizes one dataset×discipline simulation.
 type SimTimelineResult struct {
 	Dataset string
+	Task    string
 	Sched   string
-	Rounds  int
+	// Metric names the evaluation metric the timeline carries ("accuracy"
+	// for node classification, "AUC" for link prediction).
+	Metric string
+	Rounds int
 	// WallClock is the simulated seconds to commit every round.
 	WallClock float64
 	// TotalBytes is the scenario's total wire traffic.
 	TotalBytes int64
 	// MeanParticipants is the average per-round participant count.
 	MeanParticipants float64
-	// FinalAccuracy is the test accuracy after the terminal barrier.
-	FinalAccuracy float64
+	// FinalMetric is the objective's test metric after the terminal
+	// barrier.
+	FinalMetric float64
 	// Timeline carries the per-round records for external plotting.
 	Timeline []sim.RoundStats
 }
 
 // RunSimTimeline simulates the scenario once per scheduling discipline per
-// configured dataset (supervised task, first configured backbone), with one
-// device per shard so participation is exact. The async runs use
+// configured dataset (Options.Task objective, first configured backbone),
+// with one device per shard so participation is exact. The async runs use
 // Options.Staleness when set (default 2).
 func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) {
 	if err := opts.Validate(); err != nil {
@@ -51,13 +57,16 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(opts.Seed^1)))
+		// The task decides the split, the training graph, and the objective
+		// the session trains. An objective binds to one system, so each
+		// discipline below gets a fresh one from newObjective.
+		trainGraph, newObjective, err := core.SplitForTask(g, opts.Task, rand.New(rand.NewSource(opts.Seed^1)))
 		if err != nil {
 			return nil, err
 		}
 		for _, sched := range []core.Sched{core.SchedSync, core.SchedAsync} {
 			cfg := core.Config{
-				Task: core.Supervised, Backbone: bb,
+				Task: opts.Task, Backbone: bb,
 				Epsilon: opts.Epsilon, Epochs: opts.Epochs,
 				MCMCIterations: opts.mcmcItersFor(ds),
 				SecureCompare:  opts.SecureCompare,
@@ -69,7 +78,7 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 			if sched == core.SchedAsync {
 				cfg.Staleness = staleness
 			}
-			sys, err := core.NewSystem(g, g, cfg)
+			sys, err := core.NewSystem(trainGraph, g, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("eval: timeline %s/%s: %w", ds, sched, err)
 			}
@@ -77,15 +86,16 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulator.Run(split)
+			r, err := simulator.Run(newObjective())
 			if err != nil {
 				return nil, fmt.Errorf("eval: timeline %s/%s: %w", ds, sched, err)
 			}
 			out = append(out, SimTimelineResult{
-				Dataset: ds, Sched: sched.String(), Rounds: len(r.Timeline),
+				Dataset: ds, Task: opts.Task.String(), Sched: sched.String(),
+				Metric: r.Metric, Rounds: len(r.Timeline),
 				WallClock: r.WallClock, TotalBytes: r.TotalBytes,
 				MeanParticipants: r.MeanParticipants,
-				FinalAccuracy:    r.FinalAccuracy,
+				FinalMetric:      r.FinalMetric,
 				Timeline:         r.Timeline,
 			})
 		}
@@ -97,12 +107,12 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 func SimTimelineTable(rs []SimTimelineResult) *Table {
 	t := &Table{
 		Title:   "Simulated timelines: sync vs async scheduling over a heterogeneous churning fleet",
-		Columns: []string{"dataset", "sched", "rounds", "wallclock(s)", "bytes", "avg participants", "final acc"},
+		Columns: []string{"dataset", "task", "sched", "rounds", "wallclock(s)", "bytes", "avg participants", "metric", "final"},
 	}
 	for _, r := range rs {
-		t.AddRow(r.Dataset, r.Sched, r.Rounds,
+		t.AddRow(r.Dataset, r.Task, r.Sched, r.Rounds,
 			fmt.Sprintf("%.3f", r.WallClock), r.TotalBytes,
-			fmt.Sprintf("%.1f", r.MeanParticipants), r.FinalAccuracy)
+			fmt.Sprintf("%.1f", r.MeanParticipants), r.Metric, r.FinalMetric)
 	}
 	return t
 }
@@ -111,18 +121,18 @@ func SimTimelineTable(rs []SimTimelineResult) *Table {
 func SimTimelineCSVTable(rs []SimTimelineResult) *Table {
 	t := &Table{
 		Title:   "Simulated timelines: per-round records",
-		Columns: []string{"dataset", "sched", "round", "start_s", "commit_s", "available", "participants", "late", "stale", "dropped", "bytes", "loss", "accuracy"},
+		Columns: []string{"dataset", "task", "sched", "round", "start_s", "commit_s", "available", "participants", "late", "stale", "dropped", "bytes", "loss", "metric"},
 	}
 	for _, r := range rs {
 		for _, rr := range r.Timeline {
-			acc := ""
+			metric := ""
 			if rr.Evaluated {
-				acc = fmt.Sprintf("%.4f", rr.Accuracy)
+				metric = fmt.Sprintf("%.4f", rr.Metric)
 			}
-			t.AddRow(r.Dataset, r.Sched, rr.Round,
+			t.AddRow(r.Dataset, r.Task, r.Sched, rr.Round,
 				fmt.Sprintf("%.4f", rr.Start), fmt.Sprintf("%.4f", rr.Commit),
 				rr.Available, rr.Participants, rr.Late, rr.StaleApplied, rr.Dropped,
-				rr.Bytes, fmt.Sprintf("%.4f", rr.Loss), acc)
+				rr.Bytes, fmt.Sprintf("%.4f", rr.Loss), metric)
 		}
 	}
 	return t

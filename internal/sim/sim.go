@@ -10,10 +10,13 @@
 // staleness-bounded catch-up for rejoining devices on top.
 //
 // Each committed round also drives the real training engine through
-// core.System.StepRoundSupervised — absent devices' shards are skipped (their
+// core.Session.StepRound — absent devices' shards are skipped (their
 // vertices keep serving cached embeddings until the cache ages out) and late
 // updates apply stale through the engine's delayed-gradient queue — so the
-// timeline carries true losses and accuracies, not just timing.
+// timeline carries true losses and evaluation metrics, not just timing. The
+// simulator is task-agnostic: Run takes a core.Objective, so the same
+// scenario machinery drives node classification (accuracy timeline) and
+// link prediction (negative-sampled logistic loss, AUC timeline) alike.
 //
 // Scheduling discipline comes from the system's Config.Sched: under
 // SchedSync every round is a barrier on the slowest participant; under
@@ -169,26 +172,30 @@ type RoundStats struct {
 	StaleApplied int
 	Dropped      int
 	// Skipped marks a round with no usable training signal (no participant
-	// held a training vertex, or nobody was online).
+	// carried the objective's training data, or nobody was online).
 	Skipped bool
 	Loss    float64
-	// Accuracy is the test accuracy when Evaluated is set (every EvalEvery
-	// rounds and on the final round).
-	Accuracy  float64
+	// Metric is the objective's test metric (accuracy or AUC) when
+	// Evaluated is set (every EvalEvery rounds and on the final round).
+	Metric    float64
 	Evaluated bool
 }
 
 // Result is a finished simulation: the full timeline plus summary metrics.
 type Result struct {
 	Timeline []RoundStats
+	// Metric names the objective's evaluation metric ("accuracy" or
+	// "AUC") carried by the timeline's Metric fields and FinalMetric.
+	Metric string
 	// WallClock is the total simulated seconds to commit every round.
 	WallClock float64
 	// TotalBytes is the sum of per-round wire traffic.
 	TotalBytes int64
 	// MeanParticipants is the average per-round participant count.
 	MeanParticipants float64
-	// FinalAccuracy is the test accuracy after the terminal barrier.
-	FinalAccuracy float64
+	// FinalMetric is the objective's test metric after the terminal
+	// barrier.
+	FinalMetric float64
 	// StaleApplied and Dropped aggregate the per-round counters.
 	StaleApplied int
 	Dropped      int

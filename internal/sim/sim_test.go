@@ -172,7 +172,7 @@ func TestSimDeterminismAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Run(split)
+		res, err := s.Run(core.NewSupervisedObjective(split))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,12 +182,116 @@ func TestSimDeterminismAcrossWorkers(t *testing.T) {
 	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
 		t.Fatal("timelines diverge across worker counts")
 	}
-	if a.FinalAccuracy != b.FinalAccuracy {
-		t.Fatalf("final accuracy diverges: %v vs %v", a.FinalAccuracy, b.FinalAccuracy)
+	if a.FinalMetric != b.FinalMetric {
+		t.Fatalf("final accuracy diverges: %v vs %v", a.FinalMetric, b.FinalMetric)
 	}
 	c := run(1)
-	if !reflect.DeepEqual(a.Timeline, c.Timeline) || a.FinalAccuracy != c.FinalAccuracy {
+	if !reflect.DeepEqual(a.Timeline, c.Timeline) || a.FinalMetric != c.FinalMetric {
 		t.Fatal("repeat run with identical seed diverges")
+	}
+	if a.Metric != "accuracy" {
+		t.Fatalf("supervised timeline labeled %q, want accuracy", a.Metric)
+	}
+}
+
+// unsupSimSystem assembles a link-prediction system (training-edge subgraph
+// + full graph) with one device per shard, plus the edge split whose
+// val/test edges drive model evaluation.
+func unsupSimSystem(t testing.TB, sched core.Sched, staleness, workers int, seed int64) (*core.System, *graph.EdgeSplit) {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "simlink", N: 80, M: 420, Classes: 2, FeatureDim: 10,
+		PowerLaw: 2.2, Homophily: 0.85, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := graph.SplitEdges(g, 0.8, 0.05, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(es.TrainGraph, g, core.Config{
+		Task: core.Unsupervised, MCMCIterations: 15, Shards: g.N,
+		Sched: sched, Staleness: staleness, Workers: workers, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, es
+}
+
+// TestUnsupervisedSimDeterminismAcrossWorkers extends the golden guarantee
+// to link prediction — the workload the session redesign opened to the
+// simulator: same seed + scenario ⇒ DeepEqual timelines and identical final
+// AUC for Workers=1 vs 8, under churn, partial participation, and async
+// scheduling.
+func TestUnsupervisedSimDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		sys, es := unsupSimSystem(t, core.SchedAsync, 2, workers, 37)
+		s, err := New(sys, churnScenario(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(core.NewUnsupervisedObjective(es))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatal("unsupervised timelines diverge across worker counts")
+	}
+	if a.FinalMetric != b.FinalMetric {
+		t.Fatalf("final AUC diverges: %v vs %v", a.FinalMetric, b.FinalMetric)
+	}
+	c := run(1)
+	if !reflect.DeepEqual(a.Timeline, c.Timeline) || a.FinalMetric != c.FinalMetric {
+		t.Fatal("repeat unsupervised run with identical seed diverges")
+	}
+	if a.Metric != "AUC" {
+		t.Fatalf("unsupervised timeline labeled %q, want AUC", a.Metric)
+	}
+	// The timeline must carry real signal: positive losses on trained
+	// rounds and an above-chance final AUC.
+	if a.FinalMetric <= 0.5 {
+		t.Fatalf("final AUC %v not above chance", a.FinalMetric)
+	}
+	trained := 0
+	for _, rs := range a.Timeline {
+		if !rs.Skipped {
+			trained++
+			if rs.Loss <= 0 {
+				t.Fatalf("round %d: trained with non-positive loss %v", rs.Round, rs.Loss)
+			}
+		}
+	}
+	if trained == 0 {
+		t.Fatal("scenario never trained")
+	}
+}
+
+// TestUnsupervisedSimTaskMismatch guards the session task check at the
+// simulator boundary: driving a supervised system with a link-prediction
+// objective must fail loudly, not silently mis-train.
+func TestUnsupervisedSimTaskMismatch(t *testing.T) {
+	sys, _ := simSystem(t, core.SchedSync, 0, 0, 41)
+	s, err := New(sys, churnScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(core.NewUnsupervisedObjective(nil)); err == nil {
+		t.Fatal("unsupervised objective accepted by supervised system")
+	}
+	// An objective without test data must be rejected before any rounds are
+	// simulated: the timeline always evaluates the final round.
+	usys, _ := unsupSimSystem(t, core.SchedSync, 0, 0, 41)
+	us, err := New(usys, churnScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := us.Run(core.NewUnsupervisedObjective(nil)); err == nil {
+		t.Fatal("objective without test edges accepted by the simulator")
 	}
 }
 
@@ -204,7 +308,7 @@ func TestAsyncBeatsSyncUnderChurn(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Run(split)
+		res, err := s.Run(core.NewSupervisedObjective(split))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,7 +341,7 @@ func TestTimelineInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run(split)
+	res, err := s.Run(core.NewSupervisedObjective(split))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,8 +371,8 @@ func TestTimelineInvariants(t *testing.T) {
 	if res.WallClock != prev {
 		t.Fatalf("wall clock %v != last commit %v", res.WallClock, prev)
 	}
-	if res.FinalAccuracy <= 0 {
-		t.Fatalf("final accuracy %v", res.FinalAccuracy)
+	if res.FinalMetric <= 0 {
+		t.Fatalf("final accuracy %v", res.FinalMetric)
 	}
 	if res.TotalBytes <= 0 {
 		t.Fatal("no bytes on the wire")
@@ -284,7 +388,7 @@ func TestTraceFleetProducesChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run(split)
+	res, err := s.Run(core.NewSupervisedObjective(split))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +411,7 @@ func TestStaleAppliedUnderAsync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run(split)
+	res, err := s.Run(core.NewSupervisedObjective(split))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +437,7 @@ func TestPermanentChurnDrainsFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run(split)
+	res, err := s.Run(core.NewSupervisedObjective(split))
 	if err != nil {
 		t.Fatal(err)
 	}

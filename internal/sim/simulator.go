@@ -8,7 +8,6 @@ import (
 	"sort"
 
 	"lumos/internal/core"
-	"lumos/internal/graph"
 )
 
 // Simulator advances one Scenario over one assembled core.System.
@@ -34,17 +33,14 @@ type Simulator struct {
 	commits []float64
 }
 
-// New prepares a simulator over an assembled system. The system's
-// Config.Sched and Config.Staleness select the aggregation discipline. Build
-// the system with Config.Shards == device count for exact per-device
-// participation; coarser shardings degrade gracefully to majority-vote shard
-// participation (see core.System.StepRoundSupervised).
+// New prepares a simulator over an assembled system of either task. The
+// system's Config.Sched and Config.Staleness select the aggregation
+// discipline. Build the system with Config.Shards == device count for exact
+// per-device participation; coarser shardings degrade gracefully to
+// majority-vote shard participation (see core.Session.StepRound).
 func New(sys *core.System, sc Scenario) (*Simulator, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("sim: nil system")
-	}
-	if sys.Cfg.Task != core.Supervised {
-		return nil, fmt.Errorf("sim: scenario simulation drives supervised systems (got %v)", sys.Cfg.Task)
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -80,17 +76,25 @@ func (s *Simulator) Profiles() []Profile {
 	return append([]Profile(nil), s.profiles...)
 }
 
-// Run simulates the scenario's rounds over the system and returns the
-// timeline. split supplies the training vertices (only present devices
-// contribute their local loss) and the test mask for accuracy points.
-func (s *Simulator) Run(split *graph.NodeSplit) (*Result, error) {
-	if split == nil {
-		return nil, fmt.Errorf("sim: nil node split")
+// Run simulates the scenario's rounds over the system, driving one training
+// session of the given objective round by round, and returns the timeline.
+// The objective supplies the task's training signal (only present devices
+// contribute), its wire traffic, and the evaluation metric the timeline's
+// Metric points carry (accuracy or AUC).
+func (s *Simulator) Run(obj core.Objective) (*Result, error) {
+	sess, err := s.sys.NewSession(obj)
+	if err != nil {
+		return nil, err
+	}
+	if !sess.HasTestMetric() {
+		// The final round always evaluates; reject up front rather than
+		// failing after the rounds have been simulated.
+		return nil, fmt.Errorf("sim: objective carries no test data to evaluate the timeline with")
 	}
 	n := s.sys.G.N
 	sched := s.sys.Cfg.Sched
 	bound := s.sys.Cfg.Staleness
-	res := &Result{}
+	res := &Result{Metric: sess.MetricName()}
 	prev := 0.0
 	for r := 0; r < s.sc.Rounds; r++ {
 		rs := RoundStats{Round: r, Start: prev}
@@ -112,7 +116,7 @@ func (s *Simulator) Run(split *graph.NodeSplit) (*Result, error) {
 			// Nobody online: the fleet idles for one base interval, but the
 			// round still happens at the aggregator — queued stale gradients
 			// come due and the partial caches age (engine skip path).
-			out, err := s.sys.StepRoundSupervised(split, make([]bool, n), nil, s.sc.PartialTTL)
+			out, err := sess.StepRound(core.RoundPlan{Active: make([]bool, n), TTL: s.sc.PartialTTL})
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d: %w", r, err)
 			}
@@ -165,7 +169,7 @@ func (s *Simulator) Run(split *graph.NodeSplit) (*Result, error) {
 		for _, d := range participants {
 			activeDev[d] = true
 		}
-		out, err := s.sys.StepRoundSupervised(split, activeDev, devDelay, s.sc.PartialTTL)
+		out, err := sess.StepRound(core.RoundPlan{Active: activeDev, Delays: devDelay, TTL: s.sc.PartialTTL})
 		if err != nil {
 			return nil, fmt.Errorf("sim: round %d: %w", r, err)
 		}
@@ -185,23 +189,23 @@ func (s *Simulator) Run(split *graph.NodeSplit) (*Result, error) {
 		prev = commit
 
 		if (s.sc.EvalEvery > 0 && (r+1)%s.sc.EvalEvery == 0) || r == s.sc.Rounds-1 {
-			acc, err := s.sys.EvaluateAccuracy(split.IsTest)
+			m, err := sess.TestMetric()
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d evaluation: %w", r, err)
 			}
-			rs.Accuracy, rs.Evaluated = acc, true
+			rs.Metric, rs.Evaluated = m, true
 		}
 		res.Timeline = append(res.Timeline, rs)
 		res.TotalBytes += rs.Bytes
 		res.StaleApplied += rs.StaleApplied
 		res.Dropped += rs.Dropped
 	}
-	s.sys.FinishRounds()
-	acc, err := s.sys.EvaluateAccuracy(split.IsTest)
+	sess.FinishRounds()
+	final, err := sess.TestMetric()
 	if err != nil {
 		return nil, fmt.Errorf("sim: final evaluation: %w", err)
 	}
-	res.FinalAccuracy = acc
+	res.FinalMetric = final
 	res.WallClock = prev
 	total := 0
 	for _, rs := range res.Timeline {

@@ -15,6 +15,32 @@
 //	stats, _ := sys.TrainSupervised(split)
 //	acc, _ := sys.EvaluateAccuracy(split.IsTest)
 //
+// # Objectives and training sessions
+//
+// The protocol is task-agnostic: the same tree-decomposed forward/backward
+// and federated aggregation serve node classification and link prediction.
+// The API mirrors that. An Objective encapsulates everything task-specific
+// — the loss built from the pooled embeddings (cross-entropy over a
+// NodeSplit, or negative-sampled logistic loss over an EdgeSplit), the
+// per-epoch RNG-driven sampling behind it, the validation/test metric, and
+// the task's wire-traffic accounting. A Session binds one objective to an
+// assembled System and drives training either by full-participation epochs
+// (Step) or round-by-round under a participation mask, gradient delays, and
+// cache TTL (StepRound with a RoundPlan):
+//
+//	obj := lumos.NewUnsupervisedObjective(edges)
+//	sess, _ := sys.NewSession(obj)
+//	for epoch := 0; epoch < 60; epoch++ {
+//		sess.Step()
+//	}
+//	sess.FinishRounds()
+//	stats := sess.Stats()
+//
+// TrainSupervised and TrainUnsupervised are thin loops over a session, and
+// every other runner — the discrete-event simulator, the eval timelines,
+// the CLIs' -task flags (ParseTask) — drives sessions too, so any new
+// surface works for every objective without per-task plumbing.
+//
 // # Device-parallel training
 //
 // Training runs on a device-parallel engine: the forest of per-device trees
@@ -62,15 +88,18 @@
 // profiles drawn from named fleets (uniform, zipf, trace) scale the cost
 // model's compute, bandwidth, and latency terms; and a SimScenario layers
 // churn, per-round partial participation, and staleness-bounded catch-up on
-// top. Each committed round drives the real training engine through
-// System.StepRoundSupervised — absent devices' shards are skipped (their
-// vertices serve cached embeddings until the cache ages out) and late
-// updates apply stale through the engine's delayed-gradient queue — so the
-// simulated timeline carries true losses and accuracies alongside simulated
-// wall-clock and wire bytes. The same seed and scenario reproduce the
-// identical timeline for every Workers value. Entry points: NewSimulator /
-// SimScenario here, the lumos-sim CLI, the examples/churnstudy walkthrough,
-// and the RunSimTimeline experiment runner.
+// top. Each committed round drives a real training Session through
+// Session.StepRound — absent devices' shards are skipped (their vertices
+// serve cached embeddings until the cache ages out) and late updates apply
+// stale through the engine's delayed-gradient queue — so the simulated
+// timeline carries true losses and evaluation metrics alongside simulated
+// wall-clock and wire bytes. The simulator is task-agnostic: Simulator.Run
+// takes any Objective, so churn/partial-participation/async scenarios work
+// for link prediction exactly as for node classification. The same seed and
+// scenario reproduce the identical timeline for every Workers value. Entry
+// points: NewSimulator / SimScenario here, the lumos-sim CLI (-task
+// supervised|unsupervised), the examples/churnstudy walkthrough, and the
+// RunSimTimeline experiment runner.
 package lumos
 
 import (
@@ -144,6 +173,15 @@ type (
 	Sched = core.Sched
 	// System is an assembled Lumos deployment.
 	System = core.System
+	// Objective encapsulates everything task-specific about training (see
+	// the package documentation).
+	Objective = core.Objective
+	// Session is one training run of an Objective over a System, driven by
+	// epochs (Step) or rounds (StepRound).
+	Session = core.Session
+	// RoundPlan describes one partial-participation round for
+	// Session.StepRound.
+	RoundPlan = core.RoundPlan
 	// TrainStats reports losses, per-epoch traffic, and the Fig. 8 cost
 	// metrics of a training run.
 	TrainStats = core.TrainStats
@@ -163,6 +201,21 @@ const (
 
 // ParseSched parses a scheduling-mode name ("sync" or "async").
 func ParseSched(name string) (Sched, error) { return core.ParseSched(name) }
+
+// ParseTask parses a task name ("supervised" or "unsupervised").
+func ParseTask(name string) (Task, error) { return core.ParseTask(name) }
+
+// NewSupervisedObjective builds the node-classification objective over a
+// train/val/test vertex split.
+func NewSupervisedObjective(split *NodeSplit) Objective {
+	return core.NewSupervisedObjective(split)
+}
+
+// NewUnsupervisedObjective builds the link-prediction objective; val may be
+// nil when no validation/test edges exist.
+func NewUnsupervisedObjective(val *EdgeSplit) Objective {
+	return core.NewUnsupervisedObjective(val)
+}
 
 // NewSystem assembles a Lumos deployment over graph g. For supervised
 // training pass full == g; for link prediction pass the training subgraph

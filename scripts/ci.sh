@@ -10,12 +10,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...
 
-alloc_out=$(go test -run 'Test(Supervised|Unsupervised)EpochAllocBudget' -count=1 -v ./internal/core)
-for guard in TestSupervisedEpochAllocBudget TestUnsupervisedEpochAllocBudget; do
+alloc_out=$(go test -run 'Test(Supervised|Unsupervised)EpochAllocBudget|TestUnsupervisedSessionAllocBudget' -count=1 -v ./internal/core)
+for guard in TestSupervisedEpochAllocBudget TestUnsupervisedEpochAllocBudget TestUnsupervisedSessionAllocBudget; do
 	if ! grep -q -- "--- PASS: $guard" <<<"$alloc_out"; then
 		echo "allocation-regression guard $guard did not pass:" >&2
 		echo "$alloc_out" >&2

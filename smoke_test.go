@@ -16,6 +16,7 @@ import (
 // inputs or long training to say anything useful).
 var entryPoints = []struct {
 	pkg  string
+	name string // optional label when one package has several rows
 	run  bool
 	args []string
 }{
@@ -28,6 +29,11 @@ var entryPoints = []struct {
 	{pkg: "./cmd/lumos-datagen", run: true, args: []string{"-dataset", "facebook", "-scale", "0.005"}},
 	{pkg: "./cmd/lumos-sim", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10", "-sched", "both"}},
+	// The session API made the simulator task-agnostic; this row keeps the
+	// link-prediction path (churn + async, AUC timeline) from rotting.
+	{pkg: "./cmd/lumos-sim", name: "lumos-sim-unsupervised", run: true, args: []string{
+		"-task", "unsupervised", "-dataset", "facebook", "-scale", "0.005",
+		"-rounds", "3", "-mcmc", "10", "-churn", "0.2", "-sched", "async"}},
 	// lumos-train runs at tiny scale with the fresh-tape-per-epoch escape
 	// hatch so the -notapereuse path cannot rot.
 	{pkg: "./cmd/lumos-train", run: true, args: []string{
@@ -52,10 +58,13 @@ func TestEntryPointsBuildAndRun(t *testing.T) {
 	binDir := t.TempDir()
 	for _, ep := range entryPoints {
 		ep := ep
-		name := strings.TrimPrefix(ep.pkg, "./")
+		name := ep.name
+		if name == "" {
+			name = strings.TrimPrefix(ep.pkg, "./")
+		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			bin := filepath.Join(binDir, filepath.Base(ep.pkg))
+			bin := filepath.Join(binDir, filepath.Base(name))
 			build := exec.Command(goBin, "build", "-o", bin, ep.pkg)
 			if out, err := build.CombinedOutput(); err != nil {
 				t.Fatalf("go build %s: %v\n%s", ep.pkg, err, out)
