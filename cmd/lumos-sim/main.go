@@ -2,15 +2,24 @@
 // device-network simulator (internal/sim): a heterogeneous device fleet with
 // churn and partial participation trains round by round on a virtual clock,
 // and the per-round timeline — simulated wall-clock, bytes on the wire,
-// participation, loss, evaluation metric — is printed as a table. The
-// simulator drives a core.Session, so -task selects either objective: node
-// classification (accuracy timeline) or link prediction (AUC timeline).
+// participation, energy, loss, evaluation metric — is printed as a table.
+// The simulator drives a core.Session, so -task selects either objective:
+// node classification (accuracy timeline) or link prediction (AUC timeline).
+//
+// The device population comes from internal/fleet: synthetic fleets
+// (uniform, zipf, periodic availability) or a trace file of per-device
+// capacity/power/availability records (-fleet trace:<path>, FedScale-style
+// CSV/JSON; generate a sample with lumos-datagen -traces). -agg-capacity
+// puts an M/G/1-style shared server at the aggregator so uploads and model
+// broadcasts serialize instead of using independent links, and every round
+// reports the fleet's energy spend (compute x profile power + radio bytes).
 //
 // Usage:
 //
 //	lumos-sim -dataset facebook -scale 0.02 -fleet zipf -churn 0.2 -rounds 30
 //	lumos-sim -task unsupervised -churn 0.2 -sched async
-//	lumos-sim -fleet trace -participation 0.5 -sched async -staleness 2
+//	lumos-sim -fleet periodic -participation 0.5 -sched async -staleness 2
+//	lumos-sim -fleet trace:fleet.csv -agg-capacity 2e6 -rounds 20
 //	lumos-sim -sched both -rounds 20 -csv
 package main
 
@@ -23,6 +32,8 @@ import (
 
 	"lumos/internal/core"
 	"lumos/internal/eval"
+	"lumos/internal/fed"
+	"lumos/internal/fleet"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
 	"lumos/internal/sim"
@@ -34,10 +45,11 @@ func main() {
 		scale     = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
 		task      = flag.String("task", "supervised", "training objective: supervised|unsupervised")
 		backbone  = flag.String("backbone", "gcn", "gcn|gat")
-		fleet     = flag.String("fleet", "zipf", "device fleet: uniform|zipf|trace")
+		fleetSpec = flag.String("fleet", "zipf", "device fleet: uniform|zipf|periodic|trace:<path> (CSV/JSON trace, see lumos-datagen -traces)")
 		zipfSkew  = flag.Float64("zipf", 1.2, "zipf fleet skew (slowest device ~2^skew x median)")
-		tracePer  = flag.Int("trace-period", 8, "trace fleet availability period, rounds")
-		traceDuty = flag.Float64("trace-duty", 0.75, "trace fleet online fraction of each period")
+		tracePer  = flag.Int("trace-period", 8, "periodic fleet availability period, rounds")
+		traceDuty = flag.Float64("trace-duty", 0.75, "periodic fleet online fraction of each period")
+		aggCap    = flag.Float64("agg-capacity", 0, "aggregator shared uplink/downlink capacity, bytes/s (0 = unlimited: independent links)")
 		churn     = flag.Float64("churn", 0.2, "per-round probability an online device leaves")
 		rejoin    = flag.Float64("rejoin", 0.5, "per-round probability an offline device returns")
 		partic    = flag.Float64("participation", 0.8, "fraction of available devices sampled per round")
@@ -46,6 +58,7 @@ func main() {
 		stale     = flag.Int("staleness", 2, "async gradient staleness bound in rounds")
 		ttl       = flag.Int("ttl", 2, "rounds an absent device's cached embeddings keep serving")
 		evalEvery = flag.Int("eval-every", 5, "evaluate the test metric every k rounds")
+		selection = flag.Bool("select", false, "round-driven model selection: keep the best validation-metric snapshot")
 		mcmc      = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
 		eps       = flag.Float64("eps", 2, "privacy budget epsilon")
 		workers   = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
@@ -56,8 +69,13 @@ func main() {
 
 	taskKind, err := core.ParseTask(strings.ToLower(*task))
 	check(err)
-	fleetKind, err := sim.ParseFleet(*fleet)
+	fleetKind, tracePath, err := sim.ParseFleetSpec(*fleetSpec)
 	check(err)
+	var trace *fleet.Trace
+	if tracePath != "" {
+		trace, err = fleet.LoadTrace(tracePath)
+		check(err)
+	}
 	var bb nn.Backbone
 	switch strings.ToLower(*backbone) {
 	case "gcn":
@@ -84,15 +102,25 @@ func main() {
 	// below builds a fresh one from the factory.
 	trainGraph, newObjective, err := core.SplitForTask(g, taskKind, rand.New(rand.NewSource(*seed)))
 	check(err)
+	fleetLabel := string(fleetKind)
+	if trace != nil {
+		fleetLabel = fmt.Sprintf("trace(%s: %d records)", trace.Name, len(trace.Devices))
+	}
 	fmt.Printf("dataset %s: N=%d M=%d | task=%s fleet=%s churn=%.0f%% participation=%.0f%% rounds=%d\n",
-		g.Name, g.N, g.NumEdges(), taskKind, fleetKind, 100**churn, 100**partic, *rounds)
+		g.Name, g.N, g.NumEdges(), taskKind, fleetLabel, 100**churn, 100**partic, *rounds)
 
 	scenario := sim.Scenario{
-		Fleet: fleetKind, ZipfSkew: *zipfSkew,
+		Fleet: fleetKind, Trace: trace, ZipfSkew: *zipfSkew,
 		TracePeriod: *tracePer, TraceDuty: *traceDuty,
 		Churn: *churn, Rejoin: *rejoin, Participation: *partic,
 		Rounds: *rounds, PartialTTL: *ttl, EvalEvery: *evalEvery,
-		Seed: *seed,
+		ModelSelection: *selection,
+		Seed:           *seed,
+	}
+	if *aggCap != 0 {
+		cost := fed.DefaultCostModel()
+		cost.AggBytesPerSecond = *aggCap
+		scenario.Cost = cost
 	}
 	if *partic <= 0 || *partic > 1 {
 		fatalf("-participation %v outside (0,1]", *partic)
@@ -140,6 +168,14 @@ func main() {
 		fmt.Printf("%-5s: wall-clock %8.3fs  bytes %12d  avg participants %5.1f  final %s %.4f  stale %d  dropped %d\n",
 			s.sched, s.res.WallClock, s.res.TotalBytes, s.res.MeanParticipants,
 			s.res.Metric, s.res.FinalMetric, s.res.StaleApplied, s.res.Dropped)
+		maxDev := 0.0
+		for _, e := range s.res.DeviceEnergy {
+			if e > maxDev {
+				maxDev = e
+			}
+		}
+		fmt.Printf("%-5s: fleet energy %8.3f J  (%.3f J/round mean, hungriest device %.3f J)\n",
+			s.sched, s.res.TotalEnergy, s.res.TotalEnergy/float64(len(s.res.Timeline)), maxDev)
 	}
 	if len(sums) == 2 && sums[1].res.WallClock > 0 {
 		// sums[0] is sync, sums[1] async (the -sched both order).
@@ -151,7 +187,7 @@ func main() {
 func printTimeline(sched string, res *sim.Result, csv bool) {
 	t := &eval.Table{
 		Title:   fmt.Sprintf("Simulated timeline (%s scheduling)", sched),
-		Columns: []string{"round", "start(s)", "commit(s)", "avail", "part", "join", "leave", "late", "catchup", "stale", "drop", "bytes", "loss", res.Metric},
+		Columns: []string{"round", "start(s)", "commit(s)", "avail", "part", "join", "leave", "late", "catchup", "stale", "drop", "bytes", "energy(J)", "loss", res.Metric},
 	}
 	for _, rs := range res.Timeline {
 		metric := ""
@@ -164,7 +200,8 @@ func printTimeline(sched string, res *sim.Result, csv bool) {
 		}
 		t.AddRow(rs.Round, fmt.Sprintf("%.3f", rs.Start), fmt.Sprintf("%.3f", rs.Commit),
 			rs.Available, rs.Participants, rs.Joined, rs.Left,
-			rs.Late, rs.CatchUps, rs.StaleApplied, rs.Dropped, rs.Bytes, loss, metric)
+			rs.Late, rs.CatchUps, rs.StaleApplied, rs.Dropped, rs.Bytes,
+			fmt.Sprintf("%.3f", rs.Energy), loss, metric)
 	}
 	check(t.Render(os.Stdout))
 	if csv {

@@ -30,6 +30,12 @@ type RoundOutcome struct {
 	// ExpiredParts counts absent shards whose cached pooling contribution
 	// aged past the TTL and was dropped from the forward pass.
 	ExpiredParts int
+	// ValMetric is the objective's validation metric when ValEvaluated is
+	// set — reported only for rounds whose plan asked to Evaluate (and when
+	// the objective carries validation data). It feeds round-driven model
+	// selection: the best-validation snapshot is restored by FinishRounds.
+	ValMetric    float64
+	ValEvaluated bool
 }
 
 // StepRoundSupervised runs one supervised training round restricted to the

@@ -101,6 +101,12 @@ type RoundPlan struct {
 	// contribution keeps serving before it is dropped from the forward
 	// pass.
 	TTL int
+	// Evaluate requests the objective's validation metric after this
+	// round's update. The metric is surfaced in RoundOutcome and drives
+	// best-snapshot model selection exactly like Step's EvalEvery path, so
+	// round-driven runs (the simulator) can select models too; FinishRounds
+	// restores the best snapshot. Costs one extra eval-mode forward.
+	Evaluate bool
 }
 
 // StepRound runs one training round restricted to the plan's participants.
@@ -127,17 +133,46 @@ func (se *Session) StepRound(plan RoundPlan) (RoundOutcome, error) {
 		return RoundOutcome{}, fmt.Errorf("core: negative partial TTL %d", plan.TTL)
 	}
 	if !se.obj.begin(plan.Active) {
-		return RoundOutcome{Skipped: true, StaleApplied: s.eng.skipRound()}, nil
+		out := RoundOutcome{Skipped: true, StaleApplied: s.eng.skipRound()}
+		if err := se.selectRound(plan, &out); err != nil {
+			return RoundOutcome{}, err
+		}
+		return out, nil
 	}
 	se.obj.account(plan.Active)
 	shardActive, shardDelay := s.eng.mapDevices(plan.Active, plan.Delays)
 	loss, rep := s.eng.stepRound(shardActive, shardDelay, plan.TTL, se.lossFn)
-	return RoundOutcome{
+	out := RoundOutcome{
 		Loss:         loss,
 		ActiveShards: rep.activeShards,
 		StaleApplied: rep.staleApplied,
 		ExpiredParts: rep.expiredParts,
-	}, nil
+	}
+	if err := se.selectRound(plan, &out); err != nil {
+		return RoundOutcome{}, err
+	}
+	return out, nil
+}
+
+// selectRound runs the plan's optional validation evaluation and folds it
+// into model selection — the round-path twin of Step's EvalEvery block.
+func (se *Session) selectRound(plan RoundPlan, out *RoundOutcome) error {
+	if !plan.Evaluate {
+		return nil
+	}
+	m, ok, err := se.obj.valMetric()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	out.ValMetric, out.ValEvaluated = m, true
+	if m > se.bestVal {
+		se.bestVal = m
+		se.bestSnap = nn.Snapshot(se.sys)
+	}
+	return nil
 }
 
 // FinishRounds seals the training run: every still-queued stale gradient

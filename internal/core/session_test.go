@@ -276,6 +276,57 @@ func TestSessionFullParticipationRoundMatchesStep(t *testing.T) {
 	requireIdentical(t, "nil-Active StepRound vs Step", roundLosses, stepLosses)
 }
 
+// TestStepRoundModelSelection: a plan with Evaluate set surfaces the
+// objective's validation metric in the outcome and drives best-snapshot
+// selection, so round-driven runs (the simulator) get the same model
+// selection the epoch path has — FinishRounds must restore the weights of
+// the best-validation round.
+func TestStepRoundModelSelection(t *testing.T) {
+	g := engineGraph(t, 57)
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(57)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(g, g, Config{Task: Supervised, MCMCIterations: 10, Shards: 16, Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession(NewSupervisedObjective(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := -1.0
+	for i := 0; i < 6; i++ {
+		out, err := sess.StepRound(RoundPlan{Evaluate: i%2 == 1}) // evaluate every other round
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if out.ValEvaluated {
+				t.Fatalf("round %d: validation ran without Evaluate", i)
+			}
+			continue
+		}
+		if !out.ValEvaluated {
+			t.Fatalf("round %d: Evaluate plan reported no validation metric", i)
+		}
+		if out.ValMetric > best {
+			best = out.ValMetric
+		}
+	}
+	if best < 0 {
+		t.Fatal("no validation metric observed")
+	}
+	sess.FinishRounds()
+	got, ok, err := sess.ValidationMetric()
+	if err != nil || !ok {
+		t.Fatalf("post-restore validation metric: %v ok=%v", err, ok)
+	}
+	if got != best {
+		t.Fatalf("restored model's validation metric %v, want best observed %v", got, best)
+	}
+}
+
 // TestParseTask mirrors the ParseSched contract for the new task parser.
 func TestParseTask(t *testing.T) {
 	for name, want := range map[string]Task{

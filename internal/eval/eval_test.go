@@ -278,6 +278,9 @@ func TestRunSimTimeline(t *testing.T) {
 		if r.WallClock <= 0 || r.TotalBytes <= 0 {
 			t.Fatalf("degenerate timeline: %+v", r)
 		}
+		if r.TotalEnergy <= 0 {
+			t.Fatalf("timeline accounted no fleet energy: %+v", r)
+		}
 		switch r.Sched {
 		case "sync":
 			syncRes = r

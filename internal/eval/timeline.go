@@ -31,6 +31,10 @@ type SimTimelineResult struct {
 	TotalBytes int64
 	// MeanParticipants is the average per-round participant count.
 	MeanParticipants float64
+	// TotalEnergy is the fleet's energy spend across the run, in joules
+	// (compute at profile-scaled power plus radio bytes; see
+	// fed.CostModel.Energy).
+	TotalEnergy float64
 	// FinalMetric is the objective's test metric after the terminal
 	// barrier.
 	FinalMetric float64
@@ -95,6 +99,7 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 				Metric: r.Metric, Rounds: len(r.Timeline),
 				WallClock: r.WallClock, TotalBytes: r.TotalBytes,
 				MeanParticipants: r.MeanParticipants,
+				TotalEnergy:      r.TotalEnergy,
 				FinalMetric:      r.FinalMetric,
 				Timeline:         r.Timeline,
 			})
@@ -107,11 +112,12 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 func SimTimelineTable(rs []SimTimelineResult) *Table {
 	t := &Table{
 		Title:   "Simulated timelines: sync vs async scheduling over a heterogeneous churning fleet",
-		Columns: []string{"dataset", "task", "sched", "rounds", "wallclock(s)", "bytes", "avg participants", "metric", "final"},
+		Columns: []string{"dataset", "task", "sched", "rounds", "wallclock(s)", "bytes", "energy(J)", "avg participants", "metric", "final"},
 	}
 	for _, r := range rs {
 		t.AddRow(r.Dataset, r.Task, r.Sched, r.Rounds,
 			fmt.Sprintf("%.3f", r.WallClock), r.TotalBytes,
+			fmt.Sprintf("%.3f", r.TotalEnergy),
 			fmt.Sprintf("%.1f", r.MeanParticipants), r.Metric, r.FinalMetric)
 	}
 	return t
@@ -121,7 +127,7 @@ func SimTimelineTable(rs []SimTimelineResult) *Table {
 func SimTimelineCSVTable(rs []SimTimelineResult) *Table {
 	t := &Table{
 		Title:   "Simulated timelines: per-round records",
-		Columns: []string{"dataset", "task", "sched", "round", "start_s", "commit_s", "available", "participants", "late", "stale", "dropped", "bytes", "loss", "metric"},
+		Columns: []string{"dataset", "task", "sched", "round", "start_s", "commit_s", "available", "participants", "late", "stale", "dropped", "bytes", "energy_j", "loss", "metric"},
 	}
 	for _, r := range rs {
 		for _, rr := range r.Timeline {
@@ -132,7 +138,7 @@ func SimTimelineCSVTable(rs []SimTimelineResult) *Table {
 			t.AddRow(r.Dataset, r.Task, r.Sched, rr.Round,
 				fmt.Sprintf("%.4f", rr.Start), fmt.Sprintf("%.4f", rr.Commit),
 				rr.Available, rr.Participants, rr.Late, rr.StaleApplied, rr.Dropped,
-				rr.Bytes, fmt.Sprintf("%.4f", rr.Loss), metric)
+				rr.Bytes, fmt.Sprintf("%.4f", rr.Energy), fmt.Sprintf("%.4f", rr.Loss), metric)
 		}
 	}
 	return t

@@ -21,6 +21,18 @@ type CostModel struct {
 	MsgLatency time.Duration
 	// BytesPerSecond is the per-device link bandwidth.
 	BytesPerSecond float64
+	// AggBytesPerSecond is the aggregator's shared uplink/downlink capacity:
+	// device uploads and model broadcasts serialize through an M/G/1-style
+	// FIFO server at this rate (see fleet.Server), so large-fleet commit
+	// times reflect contention at the server instead of independent links.
+	// Zero (the default) disables contention — infinite aggregator capacity.
+	AggBytesPerSecond float64
+	// DevicePowerWatts is the nominal device's active power draw during
+	// local compute; a Profile's Power multiplier scales it per device.
+	DevicePowerWatts float64
+	// RadioEnergyPerByte is the energy a device spends moving one byte over
+	// its radio, in joules — uploads and model downloads both pay it.
+	RadioEnergyPerByte float64
 }
 
 // DefaultCostModel models commodity edge devices on a home network; values
@@ -31,6 +43,10 @@ func DefaultCostModel() CostModel {
 		BaseCompute:    5 * time.Millisecond,
 		MsgLatency:     2 * time.Millisecond,
 		BytesPerSecond: 12.5e6, // 100 Mbit/s
+		// AggBytesPerSecond stays 0: contention off unless a scenario asks
+		// for it, preserving the independent-link timing model.
+		DevicePowerWatts:   2,    // active SoC draw of a mid-range phone
+		RadioEnergyPerByte: 5e-8, // ≈50 nJ/B, WiFi-class radio
 	}
 }
 
@@ -48,7 +64,24 @@ func (c CostModel) Validate() error {
 	if c.MsgLatency < 0 {
 		return fmt.Errorf("fed: cost model MsgLatency must be non-negative, got %v", c.MsgLatency)
 	}
+	if c.AggBytesPerSecond < 0 {
+		return fmt.Errorf("fed: cost model AggBytesPerSecond must be non-negative (0 disables contention), got %v", c.AggBytesPerSecond)
+	}
+	if c.DevicePowerWatts < 0 {
+		return fmt.Errorf("fed: cost model DevicePowerWatts must be non-negative, got %v", c.DevicePowerWatts)
+	}
+	if c.RadioEnergyPerByte < 0 {
+		return fmt.Errorf("fed: cost model RadioEnergyPerByte must be non-negative, got %v", c.RadioEnergyPerByte)
+	}
 	return nil
+}
+
+// Energy is one device's energy spend for a round, in joules: active
+// compute time at the device's (profile-scaled) power draw plus every byte
+// it moved over the radio. This is the per-device term the simulator
+// accumulates into RoundStats and the energy-study tables.
+func (c CostModel) Energy(computeSeconds, powerMult float64, radioBytes int64) float64 {
+	return computeSeconds*c.DevicePowerWatts*powerMult + float64(radioBytes)*c.RadioEnergyPerByte
 }
 
 // EpochTime estimates one synchronous epoch's wall time:

@@ -159,15 +159,37 @@ func TestCostModelValidate(t *testing.T) {
 		func(m *CostModel) { m.PerLeafPair = -time.Microsecond },
 		func(m *CostModel) { m.BaseCompute = -time.Millisecond },
 		func(m *CostModel) { m.MsgLatency = -time.Millisecond },
+		func(m *CostModel) { m.AggBytesPerSecond = -1 },
+		func(m *CostModel) { m.DevicePowerWatts = -2 },
+		func(m *CostModel) { m.RadioEnergyPerByte = -1e-9 },
 	} {
 		bad := good
 		mutate(&bad)
 		if err := bad.Validate(); err == nil {
-			t.Fatalf("negative timing term validated: %+v", bad)
+			t.Fatalf("negative cost term validated: %+v", bad)
 		}
 	}
+	// Zero aggregator capacity is valid: it means contention disabled.
+	good.AggBytesPerSecond = 0
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCostModelEnergy(t *testing.T) {
+	m := CostModel{BytesPerSecond: 1, DevicePowerWatts: 2, RadioEnergyPerByte: 1e-6}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 s of compute at 2 W × 1.5 power multiplier + 1e6 radio bytes at
+	// 1 µJ/B = 9 J + 1 J.
+	if got := m.Energy(3, 1.5, 1_000_000); got != 10 {
+		t.Fatalf("energy = %v J, want 10", got)
+	}
+	// Energy terms zeroed → free rounds, whatever moved on the wire.
+	free := CostModel{BytesPerSecond: 1}
+	if got := free.Energy(3, 1.5, 1_000_000); got != 0 {
+		t.Fatalf("zeroed energy model charged %v J", got)
 	}
 }
 

@@ -1,0 +1,57 @@
+package fleet
+
+// Server is a deterministic M/G/1-style FIFO server modeling contention on
+// the aggregator's shared link: jobs (device uploads, model broadcasts)
+// arrive at known times, are served one at a time in arrival order at a
+// fixed byte rate, and queue while the server is busy. With Poisson-ish
+// arrivals and general (per-device) service times this is the classic
+// M/G/1 station; here both streams are deterministic, which is what keeps
+// the simulator bit-reproducible.
+//
+// The zero capacity disables the server entirely — Serve returns the
+// arrival time unchanged — so "infinite aggregator capacity" degenerates to
+// the independent-link model the simulator used before contention existed.
+type Server struct {
+	// BytesPerSecond is the shared service rate; <= 0 disables contention.
+	BytesPerSecond float64
+
+	freeAt float64
+}
+
+// Enabled reports whether the server actually serializes jobs.
+func (s *Server) Enabled() bool { return s != nil && s.BytesPerSecond > 0 }
+
+// Serve enqueues a job of the given size arriving at time at and returns
+// its departure time: service starts when both the job has arrived and the
+// server is idle, and takes bytes/BytesPerSecond. Callers must present jobs
+// in the order they should be served (the simulator's event queue already
+// yields arrivals in deterministic time order).
+func (s *Server) Serve(at float64, bytes int64) float64 {
+	if !s.Enabled() {
+		return at
+	}
+	start := at
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	done := start + float64(bytes)/s.BytesPerSecond
+	s.freeAt = done
+	return done
+}
+
+// BusyUntil blocks the server until t — the downlink broadcast occupying
+// the shared link after a commit. A no-op when contention is disabled or t
+// is already in the past.
+func (s *Server) BusyUntil(t float64) {
+	if s.Enabled() && t > s.freeAt {
+		s.freeAt = t
+	}
+}
+
+// FreeAt reports when the server next goes idle.
+func (s *Server) FreeAt() float64 {
+	if !s.Enabled() {
+		return 0
+	}
+	return s.freeAt
+}

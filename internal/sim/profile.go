@@ -2,40 +2,15 @@ package sim
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
+	"strings"
+
+	"lumos/internal/fleet"
 )
 
 // Profile is one device's capacity relative to the nominal device of the
-// analytic cost model: multipliers scale fed.CostModel's compute, bandwidth,
-// and latency terms, so the cost model stays the single source of per-event
-// costs while the fleet becomes heterogeneous.
-type Profile struct {
-	// Compute is the compute-time multiplier (1 = nominal, 2 = twice as
-	// slow).
-	Compute float64
-	// Bandwidth is the link-bandwidth multiplier (1 = nominal, 0.5 = half
-	// the bytes per second).
-	Bandwidth float64
-	// Latency is the one-way message-latency multiplier.
-	Latency float64
-	// Period/OnRounds/Phase describe a periodic availability trace
-	// (FleetTrace only; Period 0 means always available): the device is
-	// online in round r iff (r+Phase) mod Period < OnRounds.
-	Period   int
-	OnRounds int
-	Phase    int
-}
-
-// OnlineAt reports the profile's trace availability for round r. Profiles
-// without a trace (Period 0) are always online; their availability is then
-// governed by the scenario's churn process instead.
-func (p Profile) OnlineAt(r int) bool {
-	if p.Period <= 0 {
-		return true
-	}
-	return (r+p.Phase)%p.Period < p.OnRounds
-}
+// analytic cost model — defined in internal/fleet, the single source of
+// device-population truth, and aliased here for the simulator's callers.
+type Profile = fleet.Profile
 
 // Fleet names a device-profile distribution.
 type Fleet string
@@ -48,73 +23,82 @@ const (
 	// distribution (median device ≈ nominal, heavy straggler tail), with
 	// bandwidth and latency degrading alongside compute.
 	FleetZipf Fleet = "zipf"
-	// FleetTrace gives nominal capacity but a periodic availability trace
-	// (randomized phase per device), modeling diurnal on/off cycles; the
-	// trace replaces the scenario's churn process.
+	// FleetPeriodic gives nominal capacity but a periodic availability
+	// cycle (randomized phase per device), modeling diurnal on/off
+	// behavior; the cycle replaces the scenario's churn process. (This was
+	// named "trace" before file-driven traces existed.)
+	FleetPeriodic Fleet = "periodic"
+	// FleetTrace loads per-device profiles — capacity, power, availability
+	// cycles — from a trace file (fleet.LoadTrace, FedScale-style schema)
+	// supplied via Scenario.Trace. It requires a trace source: a scenario
+	// naming FleetTrace with a nil Trace fails validation instead of
+	// silently falling back to a synthetic fleet.
 	FleetTrace Fleet = "trace"
 )
 
-// ParseFleet parses a fleet name as used in CLI flags.
+// ParseFleet parses a fleet name as used in CLI flags. The "trace" fleet
+// additionally needs a trace source (see ParseFleetSpec for the
+// "trace:<path>" form that names one).
 func ParseFleet(name string) (Fleet, error) {
 	switch Fleet(name) {
-	case FleetUniform, FleetZipf, FleetTrace:
+	case FleetUniform, FleetZipf, FleetPeriodic, FleetTrace:
 		return Fleet(name), nil
 	default:
-		return "", fmt.Errorf("sim: unknown fleet %q (want uniform|zipf|trace)", name)
+		return "", fmt.Errorf("sim: unknown fleet %q (want uniform|zipf|periodic|trace:<path>)", name)
 	}
 }
 
-// zipfComputeFloor keeps the fastest zipf devices within a plausible range
-// of the nominal device instead of letting the rank formula shrink them
-// toward zero compute time.
-const zipfComputeFloor = 0.25
-
-// BuildProfiles draws n device profiles from the scenario's fleet,
-// deterministically from the scenario seed (ranks and phases are assigned by
-// a seeded permutation, so device 0 is not always the straggler).
-func BuildProfiles(sc Scenario, n int) ([]Profile, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("sim: fleet of %d devices", n)
+// ParseFleetSpec parses a CLI fleet spec, which extends the fleet names
+// with the trace form "trace:<path>". A bare "trace" is rejected with a
+// pointer at the path form — the trace fleet has no synthetic fallback.
+func ParseFleetSpec(spec string) (Fleet, string, error) {
+	if path, ok := strings.CutPrefix(spec, "trace:"); ok {
+		if path == "" {
+			return "", "", fmt.Errorf("sim: empty trace path in fleet spec %q", spec)
+		}
+		return FleetTrace, path, nil
 	}
-	rng := rand.New(rand.NewSource(sc.Seed ^ 0x70726f66696c6573))
-	out := make([]Profile, n)
+	f, err := ParseFleet(spec)
+	if err != nil {
+		return "", "", err
+	}
+	if f == FleetTrace {
+		return "", "", fmt.Errorf("sim: fleet %q needs a trace source: use trace:<path> (generate one with lumos-datagen -traces), or the periodic fleet for a synthetic availability cycle", spec)
+	}
+	return f, "", nil
+}
+
+// profileSeed decorrelates fleet construction from the scenario's other
+// random streams (churn, participation sampling).
+const profileSeed = 0x70726f66696c6573
+
+// Source resolves the scenario's fleet to its fleet.Fleet implementation —
+// the single construction path for synthetic and trace-driven populations.
+func (sc *Scenario) Source() (fleet.Fleet, error) {
 	switch sc.Fleet {
 	case FleetUniform:
-		for d := range out {
-			out[d] = Profile{Compute: 1, Bandwidth: 1, Latency: 1}
-		}
+		return fleet.Uniform(), nil
 	case FleetZipf:
-		// Rank r (0 = fastest) gets compute multiplier ((r+1)/((n+1)/2))^s:
-		// the median device is nominal, the slowest ≈ 2^s × nominal.
-		perm := rng.Perm(n)
-		for rank, d := range perm {
-			rel := float64(rank+1) / (float64(n+1) / 2)
-			mult := math.Pow(rel, sc.ZipfSkew)
-			if mult < zipfComputeFloor {
-				mult = zipfComputeFloor
-			}
-			out[d] = Profile{
-				Compute:   mult,
-				Bandwidth: 1 / math.Sqrt(mult),
-				Latency:   math.Sqrt(mult),
-			}
-		}
+		return fleet.Zipf(sc.ZipfSkew), nil
+	case FleetPeriodic:
+		return fleet.Periodic(sc.TracePeriod, sc.TraceDuty), nil
 	case FleetTrace:
-		on := int(math.Round(sc.TraceDuty * float64(sc.TracePeriod)))
-		if on < 1 {
-			on = 1
+		if sc.Trace == nil {
+			return nil, fmt.Errorf("sim: trace fleet needs a trace source: set Scenario.Trace (fleet.LoadTrace) or pass -fleet trace:<path>; use the periodic fleet for a synthetic availability cycle")
 		}
-		if on > sc.TracePeriod {
-			on = sc.TracePeriod
-		}
-		for d := range out {
-			out[d] = Profile{
-				Compute: 1, Bandwidth: 1, Latency: 1,
-				Period: sc.TracePeriod, OnRounds: on, Phase: rng.Intn(sc.TracePeriod),
-			}
-		}
+		return sc.Trace, nil
 	default:
 		return nil, fmt.Errorf("sim: unknown fleet %q", sc.Fleet)
 	}
-	return out, nil
+}
+
+// BuildProfiles draws n device profiles from the scenario's fleet,
+// deterministically from the scenario seed (ranks and phases are assigned
+// by a seeded permutation, so device 0 is not always the straggler).
+func BuildProfiles(sc Scenario, n int) ([]Profile, error) {
+	src, err := sc.Source()
+	if err != nil {
+		return nil, err
+	}
+	return src.Profiles(n, sc.Seed^profileSeed)
 }

@@ -3,11 +3,25 @@
 // the ROADMAP asks for. It replaces the single-number fed.CostModel epoch
 // estimate with a per-round simulated timeline: a virtual clock orders
 // compute-done, message-arrival, and device join/leave events; per-device
-// Profiles drawn from named fleets (uniform, zipf, trace) scale the analytic
-// cost model's compute, bandwidth, and latency terms, so the cost model
-// remains the single per-event cost source; and a Scenario layers churn,
-// per-round partial participation (sample K of the available devices), and
-// staleness-bounded catch-up for rejoining devices on top.
+// Profiles built through internal/fleet — synthetic fleets (uniform, zipf,
+// periodic availability) or FedScale-style trace files (FleetTrace +
+// Scenario.Trace) — scale the analytic cost model's compute, bandwidth,
+// latency, and power terms, so the cost model remains the single per-event
+// cost source; and a Scenario layers churn, per-round partial participation
+// (sample K of the available devices), and staleness-bounded catch-up for
+// rejoining devices on top.
+//
+// Two deployment realities are modeled beyond independent links. With a
+// finite CostModel.AggBytesPerSecond, device uploads and post-commit model
+// broadcasts serialize through a deterministic M/G/1-style FIFO server at
+// the aggregator (fleet.Server), so large-fleet commit times reflect
+// queueing at the shared link; zero capacity reproduces the
+// independent-link timeline bit for bit (frozen in a golden test). Each
+// round also accounts the fleet's energy — per participant,
+// compute-seconds at the profile-scaled power draw plus radio bytes at the
+// cost model's energy-per-byte — into RoundStats.Energy and the Result
+// totals, enabling energy/metric trade-off studies of participation
+// policies (examples/energystudy).
 //
 // Each committed round also drives the real training engine through
 // core.Session.StepRound — absent devices' shards are skipped (their
@@ -37,18 +51,24 @@ import (
 	"fmt"
 
 	"lumos/internal/fed"
+	"lumos/internal/fleet"
 )
 
 // Scenario configures one simulated deployment.
 type Scenario struct {
 	// Fleet names the device-profile distribution (default FleetUniform).
 	Fleet Fleet
+	// Trace supplies the device population when Fleet is FleetTrace —
+	// typically loaded from a FedScale-style CSV/JSON file with
+	// fleet.LoadTrace. The trace fleet has no synthetic fallback: naming it
+	// without a trace fails validation.
+	Trace *fleet.Trace
 	// ZipfSkew shapes the zipf fleet's heterogeneity: the slowest device is
 	// ≈2^skew × the median (default 1.2).
 	ZipfSkew float64
-	// TracePeriod and TraceDuty shape the trace fleet's availability cycle:
-	// each device is online TraceDuty of every TracePeriod rounds, with a
-	// per-device random phase (defaults 8 and 0.75).
+	// TracePeriod and TraceDuty shape the periodic fleet's availability
+	// cycle: each device is online TraceDuty of every TracePeriod rounds,
+	// with a per-device random phase (defaults 8 and 0.75).
 	TracePeriod int
 	TraceDuty   float64
 	// Churn is the per-round probability that an available device goes
@@ -74,6 +94,12 @@ type Scenario struct {
 	// negative disables mid-run evaluation — the field's zero value selects
 	// the default. The final round is always evaluated).
 	EvalEvery int
+	// ModelSelection additionally evaluates the objective's validation
+	// metric on every evaluated round (Session.StepRound's Evaluate path)
+	// and restores the best validation snapshot at the end of the run —
+	// round-driven model selection, mirroring the epoch trainers. Off by
+	// default: the final model is then the last committed one.
+	ModelSelection bool
 	// Cost supplies the per-event costs (zero value: fed.DefaultCostModel).
 	Cost fed.CostModel
 	// Seed drives every random choice in the scenario (fleet ranks, churn,
@@ -87,6 +113,12 @@ func (sc *Scenario) Validate() error {
 		sc.Fleet = FleetUniform
 	}
 	if _, err := ParseFleet(string(sc.Fleet)); err != nil {
+		return err
+	}
+	if sc.Fleet == FleetTrace && sc.Trace == nil {
+		// Reject up front with the full pointer instead of letting fleet
+		// construction fail later (or worse, silently running uniform).
+		_, err := sc.Source()
 		return err
 	}
 	if sc.ZipfSkew == 0 {
@@ -175,10 +207,19 @@ type RoundStats struct {
 	// carried the objective's training data, or nobody was online).
 	Skipped bool
 	Loss    float64
+	// Energy is the fleet's energy spend this round, in joules: each
+	// participant's compute time at its profile-scaled power draw plus
+	// every byte it moved over the radio (fed.CostModel.Energy).
+	Energy float64
 	// Metric is the objective's test metric (accuracy or AUC) when
 	// Evaluated is set (every EvalEvery rounds and on the final round).
 	Metric    float64
 	Evaluated bool
+	// ValMetric is the objective's validation metric when ValEvaluated is
+	// set (Scenario.ModelSelection on evaluated rounds) — the signal
+	// round-driven model selection keys on.
+	ValMetric    float64
+	ValEvaluated bool
 }
 
 // Result is a finished simulation: the full timeline plus summary metrics.
@@ -194,9 +235,15 @@ type Result struct {
 	// MeanParticipants is the average per-round participant count.
 	MeanParticipants float64
 	// FinalMetric is the objective's test metric after the terminal
-	// barrier.
+	// barrier (and, under Scenario.ModelSelection, the best-validation
+	// snapshot restore).
 	FinalMetric float64
 	// StaleApplied and Dropped aggregate the per-round counters.
 	StaleApplied int
 	Dropped      int
+	// TotalEnergy is the fleet's energy spend across the run, in joules;
+	// DeviceEnergy breaks it down per device (cumulative, indexed by device
+	// id) for straggler/fairness analysis.
+	TotalEnergy  float64
+	DeviceEnergy []float64
 }

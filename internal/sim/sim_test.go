@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"lumos/internal/core"
 	"lumos/internal/fed"
+	"lumos/internal/fleet"
 	"lumos/internal/graph"
 )
 
@@ -55,6 +57,9 @@ func TestScenarioValidateDefaults(t *testing.T) {
 		{Rounds: 5, Participation: 1.5},
 		{Rounds: 5, Fleet: "mesh"},
 		{Rounds: 5, TraceDuty: 2},
+		// A trace fleet without a trace source must be rejected loudly, not
+		// silently fall back to a synthetic fleet.
+		{Rounds: 5, Fleet: FleetTrace},
 		{Rounds: 5, Cost: fed.CostModel{BytesPerSecond: 1, PerLeafPair: -time.Second}},
 	} {
 		bad := bad
@@ -65,13 +70,35 @@ func TestScenarioValidateDefaults(t *testing.T) {
 }
 
 func TestParseFleet(t *testing.T) {
-	for _, name := range []string{"uniform", "zipf", "trace"} {
+	for _, name := range []string{"uniform", "zipf", "periodic", "trace"} {
 		if _, err := ParseFleet(name); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if _, err := ParseFleet("mesh"); err == nil {
 		t.Fatal("unknown fleet parsed")
+	}
+}
+
+func TestParseFleetSpec(t *testing.T) {
+	f, path, err := ParseFleetSpec("trace:fleet.csv")
+	if err != nil || f != FleetTrace || path != "fleet.csv" {
+		t.Fatalf("trace:fleet.csv parsed to (%v, %q, %v)", f, path, err)
+	}
+	f, path, err = ParseFleetSpec("periodic")
+	if err != nil || f != FleetPeriodic || path != "" {
+		t.Fatalf("periodic parsed to (%v, %q, %v)", f, path, err)
+	}
+	// A bare "trace" has no source and no synthetic fallback: the spec
+	// parser must reject it with a pointer at the trace:<path> form.
+	if _, _, err := ParseFleetSpec("trace"); err == nil {
+		t.Fatal("bare trace spec parsed")
+	}
+	if _, _, err := ParseFleetSpec("trace:"); err == nil {
+		t.Fatal("empty trace path parsed")
+	}
+	if _, _, err := ParseFleetSpec("mesh"); err == nil {
+		t.Fatal("unknown fleet spec parsed")
 	}
 }
 
@@ -103,13 +130,13 @@ func TestBuildProfilesDeterministic(t *testing.T) {
 			fastest = p.Compute
 		}
 	}
-	if slowest <= 1 || fastest < zipfComputeFloor {
+	if slowest <= 1 || fastest < 0.25 {
 		t.Fatalf("zipf fleet lacks heterogeneity: fastest %v slowest %v", fastest, slowest)
 	}
 }
 
 func TestTraceProfilesCycle(t *testing.T) {
-	sc := Scenario{Rounds: 1, Fleet: FleetTrace, TracePeriod: 4, TraceDuty: 0.5, Seed: 5}
+	sc := Scenario{Rounds: 1, Fleet: FleetPeriodic, TracePeriod: 4, TraceDuty: 0.5, Seed: 5}
 	if err := sc.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -379,11 +406,11 @@ func TestTimelineInvariants(t *testing.T) {
 	}
 }
 
-// TestTraceFleetProducesChurn checks that the trace fleet drives
+// TestPeriodicFleetProducesChurn checks that the periodic fleet drives
 // availability without the Bernoulli churn process.
-func TestTraceFleetProducesChurn(t *testing.T) {
+func TestPeriodicFleetProducesChurn(t *testing.T) {
 	sys, split := simSystem(t, core.SchedSync, 0, 0, 23)
-	sc := Scenario{Fleet: FleetTrace, TracePeriod: 4, TraceDuty: 0.5, Rounds: 8, Seed: 23}
+	sc := Scenario{Fleet: FleetPeriodic, TracePeriod: 4, TraceDuty: 0.5, Rounds: 8, Seed: 23}
 	s, err := New(sys, sc)
 	if err != nil {
 		t.Fatal(err)
@@ -399,7 +426,7 @@ func TestTraceFleetProducesChurn(t *testing.T) {
 		}
 	}
 	if !sawOffline {
-		t.Fatal("trace fleet with duty 0.5 never took a device offline")
+		t.Fatal("periodic fleet with duty 0.5 never took a device offline")
 	}
 }
 
@@ -424,6 +451,241 @@ func TestStaleAppliedUnderAsync(t *testing.T) {
 	}
 	if res.StaleApplied == 0 {
 		t.Fatalf("%d late arrivals but no stale gradient applications", late)
+	}
+}
+
+// contendedScenario is churnScenario with a finite shared aggregator link,
+// so uploads and broadcasts serialize through the M/G/1 server.
+func contendedScenario(rounds int) Scenario {
+	sc := churnScenario(rounds)
+	sc.Cost = fed.DefaultCostModel()
+	sc.Cost.AggBytesPerSecond = 2e6
+	return sc
+}
+
+// TestContentionDeterminismAcrossWorkers extends the sim's golden guarantee
+// to the contended aggregator: with a finite shared-link capacity, the same
+// seed still produces a bit-identical timeline for Workers 1 vs 8.
+func TestContentionDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		sys, split := simSystem(t, core.SchedAsync, 2, workers, 17)
+		s, err := New(sys, contendedScenario(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatal("contended timelines diverge across worker counts")
+	}
+	if a.FinalMetric != b.FinalMetric || a.TotalEnergy != b.TotalEnergy {
+		t.Fatalf("final metric/energy diverge: (%v, %v) vs (%v, %v)",
+			a.FinalMetric, a.TotalEnergy, b.FinalMetric, b.TotalEnergy)
+	}
+}
+
+// TestContentionSlowsCommits: serializing uploads and broadcasts at the
+// aggregator can only delay commits relative to independent links, and must
+// actually do so somewhere on a busy timeline. Availability, participation,
+// losses, and energy are timing-independent and must not move.
+func TestContentionSlowsCommits(t *testing.T) {
+	run := func(sc Scenario) *Result {
+		sys, split := simSystem(t, core.SchedSync, 0, 0, 17)
+		s, err := New(sys, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	free := run(churnScenario(8))
+	contended := run(contendedScenario(8))
+	if contended.WallClock <= free.WallClock {
+		t.Fatalf("contended wall-clock %v not above independent-link %v", contended.WallClock, free.WallClock)
+	}
+	for i := range free.Timeline {
+		f, c := free.Timeline[i], contended.Timeline[i]
+		if c.Available != f.Available || c.Participants != f.Participants || c.Loss != f.Loss {
+			t.Fatalf("round %d: contention changed training, not just timing", i)
+		}
+		if c.Commit-c.Start < f.Commit-f.Start {
+			t.Fatalf("round %d: contended round shorter than independent-link round", i)
+		}
+		if f.Energy != c.Energy {
+			t.Fatalf("round %d: contention changed energy accounting", i)
+		}
+	}
+}
+
+// TestCommitGrowsWithFleetSize is the M/G/1 sanity check: at fixed
+// per-device cost, the queueing delay a contended aggregator adds grows
+// with the fleet size, because ~N uploads serialize through one server.
+func TestCommitGrowsWithFleetSize(t *testing.T) {
+	roundTime := func(n int, capacity float64) float64 {
+		g, err := graph.Generate(graph.GenConfig{
+			Name: "mg1", N: n, M: 5 * n, Classes: 2, FeatureDim: 10,
+			PowerLaw: 2.2, Homophily: 0.85, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(31)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(g, g, core.Config{
+			Task: core.Supervised, MCMCIterations: 10, Shards: g.N, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := fed.DefaultCostModel()
+		cost.PerLeafPair = 0 // fixed per-device compute regardless of workload
+		cost.AggBytesPerSecond = capacity
+		sc := Scenario{Rounds: 1, Participation: 1, EvalEvery: -1, Cost: cost, Seed: 31}
+		s, err := New(sys, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WallClock
+	}
+	const capacity = 1e6
+	qSmall := roundTime(40, capacity) - roundTime(40, 0)
+	qLarge := roundTime(80, capacity) - roundTime(80, 0)
+	if qSmall <= 0 || qLarge <= 0 {
+		t.Fatalf("contention added no queueing delay: small %v large %v", qSmall, qLarge)
+	}
+	if qLarge <= qSmall {
+		t.Fatalf("queueing delay did not grow with fleet size: %v (N=40) vs %v (N=80)", qSmall, qLarge)
+	}
+}
+
+// TestEnergyMonotoneInParticipation: sampling more devices into each round
+// can only add fleet energy — the energy/participation trade-off the
+// energystudy example rests on.
+func TestEnergyMonotoneInParticipation(t *testing.T) {
+	run := func(p float64) *Result {
+		sys, split := simSystem(t, core.SchedSync, 0, 0, 17)
+		sc := Scenario{Fleet: FleetZipf, Participation: p, Rounds: 6, EvalEvery: -1, Seed: 17}
+		s, err := New(sys, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	var prev *Result
+	for _, p := range []float64{0.25, 0.5, 1} {
+		res := run(p)
+		if res.TotalEnergy <= 0 {
+			t.Fatalf("participation %v: no energy accounted", p)
+		}
+		perDev := 0.0
+		for _, e := range res.DeviceEnergy {
+			perDev += e
+		}
+		if math.Abs(perDev-res.TotalEnergy) > 1e-9*res.TotalEnergy {
+			t.Fatalf("participation %v: device energies sum to %v, total %v", p, perDev, res.TotalEnergy)
+		}
+		if prev != nil && res.TotalEnergy < prev.TotalEnergy {
+			t.Fatalf("participation %v spent less energy (%v) than the smaller quorum (%v)",
+				p, res.TotalEnergy, prev.TotalEnergy)
+		}
+		prev = res
+	}
+}
+
+// TestTraceFleetDrivesSimulator: a datagen-style sampled trace loaded
+// through the fleet layer drives an end-to-end simulation — heterogeneous
+// capacity, trace-carried availability cycles, energy — and stays
+// deterministic across worker counts.
+func TestTraceFleetDrivesSimulator(t *testing.T) {
+	tr, err := fleet.SampleTrace(80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		sys, split := simSystem(t, core.SchedSync, 0, workers, 17)
+		sc := contendedScenario(8)
+		sc.Fleet, sc.Trace, sc.Churn = FleetTrace, tr, 0
+		s, err := New(sys, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) || a.FinalMetric != b.FinalMetric {
+		t.Fatal("trace-driven timelines diverge across worker counts")
+	}
+	sawOffline := false
+	for _, rs := range a.Timeline {
+		if rs.Available < 80 {
+			sawOffline = true
+		}
+	}
+	if !sawOffline {
+		t.Fatal("trace availability cycles never took a device offline")
+	}
+	if a.TotalEnergy <= 0 {
+		t.Fatal("trace-driven run accounted no energy")
+	}
+
+	// The trace fleet without a source must fail at construction.
+	sys, _ := simSystem(t, core.SchedSync, 0, 0, 17)
+	if _, err := New(sys, Scenario{Fleet: FleetTrace, Rounds: 3, Seed: 1}); err == nil {
+		t.Fatal("trace fleet without a source accepted")
+	}
+}
+
+// TestSimModelSelection: with Scenario.ModelSelection on, evaluated rounds
+// carry the validation metric and the final model is the best-validation
+// snapshot rather than the last committed one.
+func TestSimModelSelection(t *testing.T) {
+	sys, split := simSystem(t, core.SchedSync, 0, 0, 19)
+	sc := churnScenario(8)
+	sc.EvalEvery, sc.ModelSelection = 2, true
+	s, err := New(sys, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(core.NewSupervisedObjective(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := 0
+	for _, rs := range res.Timeline {
+		if rs.Evaluated != rs.ValEvaluated {
+			t.Fatalf("round %d: test and validation evaluation cadences diverge: %+v", rs.Round, rs)
+		}
+		if rs.ValEvaluated {
+			evaluated++
+			if rs.ValMetric <= 0 {
+				t.Fatalf("round %d: validation metric %v", rs.Round, rs.ValMetric)
+			}
+		}
+	}
+	if evaluated == 0 {
+		t.Fatal("model selection never evaluated")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"lumos/internal/core"
+	"lumos/internal/fleet"
 )
 
 // Simulator advances one Scenario over one assembled core.System.
@@ -31,6 +32,13 @@ type Simulator struct {
 	sampleRng *rand.Rand
 
 	commits []float64
+
+	// agg is the aggregator's shared uplink/downlink server: device uploads
+	// and model broadcasts serialize through it when the cost model sets a
+	// finite AggBytesPerSecond (zero capacity = independent links).
+	agg fleet.Server
+	// energy accumulates each device's joules across the run.
+	energy []float64
 }
 
 // New prepares a simulator over an assembled system of either task. The
@@ -63,6 +71,8 @@ func New(sys *core.System, sc Scenario) (*Simulator, error) {
 		lastPart:  make([]int, n),
 		churnRng:  rand.New(rand.NewSource(sc.Seed ^ 0x636875726e)),
 		sampleRng: rand.New(rand.NewSource(sc.Seed ^ 0x73616d706c65)),
+		agg:       fleet.Server{BytesPerSecond: sc.Cost.AggBytesPerSecond},
+		energy:    make([]float64, n),
 	}
 	for d := range s.avail {
 		s.avail[d] = profiles[d].OnlineAt(0)
@@ -112,16 +122,30 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 		// 2. Partial participation: sample K of the available devices.
 		participants := s.sample()
 		rs.Participants = len(participants)
+		evalRound := (s.sc.EvalEvery > 0 && (r+1)%s.sc.EvalEvery == 0) || r == s.sc.Rounds-1
 		if len(participants) == 0 {
 			// Nobody online: the fleet idles for one base interval, but the
 			// round still happens at the aggregator — queued stale gradients
-			// come due and the partial caches age (engine skip path).
-			out, err := sess.StepRound(core.RoundPlan{Active: make([]bool, n), TTL: s.sc.PartialTTL})
+			// come due and the partial caches age (engine skip path). Those
+			// stale applies mutate the model, so a scheduled evaluation (and
+			// its model-selection snapshot) still runs here.
+			out, err := sess.StepRound(core.RoundPlan{
+				Active: make([]bool, n), TTL: s.sc.PartialTTL,
+				Evaluate: evalRound && s.sc.ModelSelection,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d: %w", r, err)
 			}
 			rs.StaleApplied = out.StaleApplied
 			res.StaleApplied += out.StaleApplied
+			rs.ValMetric, rs.ValEvaluated = out.ValMetric, out.ValEvaluated
+			if evalRound {
+				m, err := sess.TestMetric()
+				if err != nil {
+					return nil, fmt.Errorf("sim: round %d evaluation: %w", r, err)
+				}
+				rs.Metric, rs.Evaluated = m, true
+			}
 			prev += s.sc.Cost.BaseCompute.Seconds() + s.sc.Cost.MsgLatency.Seconds()
 			rs.Commit, rs.Skipped = prev, true
 			s.commits = append(s.commits, prev)
@@ -152,11 +176,22 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 			if s.lastPart[d] >= 0 {
 				gap = r - s.lastPart[d]
 			}
+			radioBytes := s.up[d] + s.model // upload + post-commit broadcast
 			if gap > bound+1 {
-				start += s.downTime(d)
+				// The re-download's model bytes cross the shared aggregator
+				// link like any other traffic: the download is served (and
+				// occupies the server) before the device's own link time.
+				start = s.agg.Serve(start, s.model) + s.downTime(d)
 				rs.CatchUps++
+				radioBytes += s.model // catch-up re-download
 			}
-			s.push(evComputeDone, start+s.computeTime(d), d, r)
+			ct := s.computeTime(d)
+			s.push(evComputeDone, start+ct, d, r)
+			// Energy: active compute at the profile-scaled power draw plus
+			// every byte this device moves over its radio this round.
+			e := s.sc.Cost.Energy(ct, s.profiles[d].Power, radioBytes)
+			s.energy[d] += e
+			rs.Energy += e
 		}
 		arr := make([]float64, n)
 		s.drainRound(arr)
@@ -165,11 +200,23 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 		// (async), then fold the round into the model.
 		commit, devDelay := s.commitRound(sched, bound, r, participants, arr, prev, &rs)
 
+		// Downlink contention: the post-commit model broadcast to every
+		// participant serializes through the shared aggregator link, so the
+		// round is not over — and the next model not ready — until the last
+		// copy is out. The server is FIFO: under async it may still be
+		// serving straggler uploads past the quorum commit, and the
+		// broadcast queues behind them. With contention disabled Serve is a
+		// pass-through, matching the independent-link model.
+		commit = s.agg.Serve(commit, int64(len(participants))*s.model)
+
 		activeDev := make([]bool, n)
 		for _, d := range participants {
 			activeDev[d] = true
 		}
-		out, err := sess.StepRound(core.RoundPlan{Active: activeDev, Delays: devDelay, TTL: s.sc.PartialTTL})
+		out, err := sess.StepRound(core.RoundPlan{
+			Active: activeDev, Delays: devDelay, TTL: s.sc.PartialTTL,
+			Evaluate: evalRound && s.sc.ModelSelection,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: round %d: %w", r, err)
 		}
@@ -177,6 +224,7 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 		rs.Skipped = out.Skipped
 		rs.StaleApplied = out.StaleApplied
 		rs.Dropped = out.ExpiredParts
+		rs.ValMetric, rs.ValEvaluated = out.ValMetric, out.ValEvaluated
 		for _, d := range participants {
 			rs.Bytes += s.up[d]
 		}
@@ -188,7 +236,7 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 		s.commits = append(s.commits, commit)
 		prev = commit
 
-		if (s.sc.EvalEvery > 0 && (r+1)%s.sc.EvalEvery == 0) || r == s.sc.Rounds-1 {
+		if evalRound {
 			m, err := sess.TestMetric()
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d evaluation: %w", r, err)
@@ -199,6 +247,7 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 		res.TotalBytes += rs.Bytes
 		res.StaleApplied += rs.StaleApplied
 		res.Dropped += rs.Dropped
+		res.TotalEnergy += rs.Energy
 	}
 	sess.FinishRounds()
 	final, err := sess.TestMetric()
@@ -212,16 +261,19 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 		total += rs.Participants
 	}
 	res.MeanParticipants = float64(total) / float64(len(res.Timeline))
+	res.DeviceEnergy = append([]float64(nil), s.energy...)
 	return res, nil
 }
 
 // scheduleChurn pushes this round's join/leave events at the round boundary.
-// The trace fleet transitions with its availability trace; other fleets draw
-// exactly one churn decision per device per round, so the availability
-// process is identical across scheduling modes and participation rates.
+// Availability is decided per profile: a device with an availability cycle
+// (Period > 0 — the periodic fleet, or traced devices that carry one)
+// transitions with its cycle; every other device draws exactly one Bernoulli
+// churn decision per round, so the availability process is identical across
+// scheduling modes and participation rates.
 func (s *Simulator) scheduleChurn(r int, at float64) {
-	if s.sc.Fleet == FleetTrace {
-		for d, p := range s.profiles {
+	for d, p := range s.profiles {
+		if p.Period > 0 {
 			if on := p.OnlineAt(r); on != s.avail[d] {
 				kind := evLeave
 				if on {
@@ -229,13 +281,11 @@ func (s *Simulator) scheduleChurn(r int, at float64) {
 				}
 				s.push(kind, at, d, r)
 			}
+			continue
 		}
-		return
-	}
-	if r == 0 {
-		return // the whole fleet starts online
-	}
-	for d := range s.profiles {
+		if r == 0 {
+			continue // cycle-free devices start online
+		}
 		u := s.churnRng.Float64()
 		if s.avail[d] {
 			if u < s.sc.Churn {
@@ -268,7 +318,11 @@ func (s *Simulator) drainBoundary(now float64, rs *RoundStats) {
 }
 
 // drainRound runs the virtual clock until every in-flight compute and
-// message event has fired, recording each participant's arrival time.
+// message event has fired, recording each participant's arrival time. An
+// arrival marks the update reaching the aggregator's ingress over the
+// device's own link; with contention enabled it must then be served by the
+// shared M/G/1-style server — updates queue behind each other (FIFO in
+// deterministic event order) — before it counts as delivered.
 func (s *Simulator) drainRound(arr []float64) {
 	for s.q.Len() > 0 {
 		e := heap.Pop(&s.q).(*event)
@@ -276,7 +330,7 @@ func (s *Simulator) drainRound(arr []float64) {
 		case evComputeDone:
 			s.push(evArrival, e.at+s.xferTime(e.device), e.device, e.round)
 		case evArrival:
-			arr[e.device] = e.at
+			arr[e.device] = s.agg.Serve(e.at, s.up[e.device])
 		}
 	}
 }

@@ -85,21 +85,53 @@
 // Beyond the analytic cost model, internal/sim provides a deterministic
 // discrete-event device-network simulator: a virtual clock orders
 // compute-done, message-arrival, and device join/leave events; per-device
-// profiles drawn from named fleets (uniform, zipf, trace) scale the cost
-// model's compute, bandwidth, and latency terms; and a SimScenario layers
-// churn, per-round partial participation, and staleness-bounded catch-up on
-// top. Each committed round drives a real training Session through
-// Session.StepRound — absent devices' shards are skipped (their vertices
-// serve cached embeddings until the cache ages out) and late updates apply
-// stale through the engine's delayed-gradient queue — so the simulated
-// timeline carries true losses and evaluation metrics alongside simulated
-// wall-clock and wire bytes. The simulator is task-agnostic: Simulator.Run
-// takes any Objective, so churn/partial-participation/async scenarios work
-// for link prediction exactly as for node classification. The same seed and
-// scenario reproduce the identical timeline for every Workers value. Entry
-// points: NewSimulator / SimScenario here, the lumos-sim CLI (-task
-// supervised|unsupervised), the examples/churnstudy walkthrough, and the
+// profiles drawn from the fleet layer (see "Device fleets") scale the cost
+// model's compute, bandwidth, latency, and power terms; and a SimScenario
+// layers churn, per-round partial participation, and staleness-bounded
+// catch-up on top. Each committed round drives a real training Session
+// through Session.StepRound — absent devices' shards are skipped (their
+// vertices serve cached embeddings until the cache ages out) and late
+// updates apply stale through the engine's delayed-gradient queue — so the
+// simulated timeline carries true losses and evaluation metrics alongside
+// simulated wall-clock, wire bytes, and fleet energy. The simulator is
+// task-agnostic: Simulator.Run takes any Objective, so
+// churn/partial-participation/async scenarios work for link prediction
+// exactly as for node classification, and SimScenario.ModelSelection adds
+// round-driven model selection (RoundPlan.Evaluate keeps the best
+// validation snapshot). The same seed and scenario reproduce the identical
+// timeline for every Workers value. Entry points: NewSimulator /
+// SimScenario here, the lumos-sim CLI (-task supervised|unsupervised), the
+// examples/churnstudy and examples/energystudy walkthroughs, and the
 // RunSimTimeline experiment runner.
+//
+// # Device fleets (internal/fleet)
+//
+// The device population behind every simulation comes from internal/fleet,
+// the single source of device-population truth. A SimProfile carries one
+// device's capacity relative to the cost model's nominal device — compute,
+// bandwidth, latency, and power multipliers plus an optional periodic
+// availability cycle — and a FleetSource turns a population description
+// into n profiles, deterministically from a seed. Synthetic fleets cover
+// uniform (nominal everything), zipf (heavy straggler tail), and periodic
+// (diurnal on/off cycles); the trace fleet loads per-device records from a
+// FedScale-style CSV or JSON file instead (LoadTrace, lumos-sim -fleet
+// trace:<path>), sampling deterministically when the simulated fleet is
+// larger than the trace. Naming the trace fleet without a trace source is
+// an error — there is no silent synthetic fallback. SampleTrace synthesizes
+// a representative mixed population (lumos-datagen -traces writes it to
+// disk), so tests and smoke suites never depend on external downloads.
+//
+// Two deployment realities ride on the fleet layer. Aggregator contention:
+// with CostModel.AggBytesPerSecond set (lumos-sim -agg-capacity), device
+// uploads and post-commit model broadcasts serialize through a
+// deterministic M/G/1-style FIFO server at the aggregator, so large-fleet
+// commit times reflect queueing at the shared link rather than independent
+// links; zero capacity reproduces the independent-link timeline bit for
+// bit. Energy accounting: every round charges each participant
+// compute-seconds × (CostModel.DevicePowerWatts × profile power) plus
+// radio bytes × CostModel.RadioEnergyPerByte, surfacing per-round fleet
+// joules in SimRoundStats.Energy, cumulative and per-device totals in
+// SimResult, and the energy/metric trade-off study in examples/energystudy.
 package lumos
 
 import (
@@ -107,6 +139,7 @@ import (
 
 	"lumos/internal/core"
 	"lumos/internal/eval"
+	"lumos/internal/fleet"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
 	"lumos/internal/sim"
@@ -229,29 +262,55 @@ type (
 	// SimScenario configures one simulated deployment: fleet, churn,
 	// partial participation, rounds, cost model, seed.
 	SimScenario = sim.Scenario
-	// SimProfile is one device's capacity relative to the nominal device.
+	// SimProfile is one device's capacity relative to the nominal device:
+	// compute/bandwidth/latency/power multipliers plus an optional
+	// availability cycle (defined in internal/fleet).
 	SimProfile = sim.Profile
 	// Simulator advances a scenario over an assembled System.
 	Simulator = sim.Simulator
-	// SimResult is a finished simulation: timeline plus summary metrics.
+	// SimResult is a finished simulation: timeline plus summary metrics
+	// (wall-clock, wire bytes, fleet energy).
 	SimResult = sim.Result
 	// SimRoundStats is one entry of a simulated timeline.
 	SimRoundStats = sim.RoundStats
 	// Fleet names a device-profile distribution.
 	Fleet = sim.Fleet
+	// FleetSource turns a device-population description into concrete
+	// profiles — the interface every fleet (synthetic or trace-driven)
+	// implements, and SimScenario's single construction path.
+	FleetSource = fleet.Fleet
+	// Trace is a device-population trace loaded from a FedScale-style
+	// CSV/JSON file (or synthesized by SampleTrace); it implements
+	// FleetSource and feeds SimScenario.Trace.
+	Trace = fleet.Trace
 	// RoundOutcome reports one partial-participation training round.
 	RoundOutcome = core.RoundOutcome
 )
 
 // Fleet values.
 const (
-	FleetUniform = sim.FleetUniform
-	FleetZipf    = sim.FleetZipf
-	FleetTrace   = sim.FleetTrace
+	FleetUniform  = sim.FleetUniform
+	FleetZipf     = sim.FleetZipf
+	FleetPeriodic = sim.FleetPeriodic
+	FleetTrace    = sim.FleetTrace
 )
 
-// ParseFleet parses a fleet name ("uniform", "zipf", or "trace").
+// ParseFleet parses a fleet name ("uniform", "zipf", "periodic", or
+// "trace"; the trace fleet additionally needs a trace source).
 func ParseFleet(name string) (Fleet, error) { return sim.ParseFleet(name) }
+
+// ParseFleetSpec parses a CLI fleet spec, which extends the fleet names
+// with the "trace:<path>" form naming a trace file to load.
+func ParseFleetSpec(spec string) (Fleet, string, error) { return sim.ParseFleetSpec(spec) }
+
+// LoadTrace reads a fleet trace from a CSV (.csv) or JSON (.json) file.
+func LoadTrace(path string) (*Trace, error) { return fleet.LoadTrace(path) }
+
+// SampleTrace synthesizes a representative mixed device population — the
+// trace lumos-datagen -traces writes — deterministically from the seed.
+func SampleTrace(devices int, seed int64) (*Trace, error) {
+	return fleet.SampleTrace(devices, seed)
+}
 
 // NewSimulator prepares a discrete-event simulation of scenario sc over an
 // assembled system (build it with Config.Shards == device count for exact

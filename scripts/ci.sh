@@ -30,4 +30,17 @@ for guard in TestSupervisedEpochAllocBudget TestUnsupervisedEpochAllocBudget Tes
 	fi
 done
 
+# Fleet-subsystem gates, re-run by name so a renamed or skipped guard fails
+# loudly: the trace-driven lumos-sim smoke row (datagen-written trace file →
+# fleet.LoadTrace → contended simulation) and the energystudy example (exits
+# non-zero unless fleet energy grows monotonically with participation).
+smoke_out=$(go test -run 'TestEntryPointsBuildAndRun/(lumos-sim-trace|examples)/energystudy' -count=1 -v .)
+for row in lumos-sim-trace examples/energystudy; do
+	if ! grep -q -- "--- PASS: TestEntryPointsBuildAndRun/$row" <<<"$smoke_out"; then
+		echo "fleet smoke row $row did not pass:" >&2
+		echo "$smoke_out" >&2
+		exit 1
+	fi
+done
+
 go test -race -short ./internal/... ./...

@@ -27,6 +27,10 @@ var entryPoints = []struct {
 		"-exp", "fig3", "-fbscale", "0.004", "-epochs", "2", "-mcmc", "5",
 		"-backbones", "gcn", "-datasets", "facebook", "-notapereuse"}},
 	{pkg: "./cmd/lumos-datagen", run: true, args: []string{"-dataset", "facebook", "-scale", "0.005"}},
+	// -traces emits a sample fleet trace (stdout CSV here; the file-writing
+	// path seeds the lumos-sim-trace row below).
+	{pkg: "./cmd/lumos-datagen", name: "lumos-datagen-traces", run: true, args: []string{
+		"-traces", "-devices", "8", "-seed", "5"}},
 	{pkg: "./cmd/lumos-sim", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10", "-sched", "both"}},
 	// The session API made the simulator task-agnostic; this row keeps the
@@ -34,12 +38,23 @@ var entryPoints = []struct {
 	{pkg: "./cmd/lumos-sim", name: "lumos-sim-unsupervised", run: true, args: []string{
 		"-task", "unsupervised", "-dataset", "facebook", "-scale", "0.005",
 		"-rounds", "3", "-mcmc", "10", "-churn", "0.2", "-sched", "async"}},
+	// Trace-driven fleet with aggregator contention and round-driven model
+	// selection: consumes the fleet trace lumos-datagen writes before the
+	// rows run ({TRACE} is substituted), closing the write→load→simulate
+	// loop without external downloads.
+	{pkg: "./cmd/lumos-sim", name: "lumos-sim-trace", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
+		"-fleet", "trace:{TRACE}", "-agg-capacity", "2e6", "-select"}},
 	// lumos-train runs at tiny scale with the fresh-tape-per-epoch escape
 	// hatch so the -notapereuse path cannot rot.
 	{pkg: "./cmd/lumos-train", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-epochs", "2", "-mcmc", "10", "-notapereuse"}},
 	{pkg: "./examples/churnstudy", run: true, args: []string{
 		"-n", "60", "-m", "240", "-rounds", "6", "-mcmc", "10"}},
+	// energystudy enforces its energy-monotone-in-participation invariant
+	// (exits non-zero on regression), so this row is a CI gate too.
+	{pkg: "./examples/energystudy", run: true, args: []string{
+		"-n", "60", "-m", "240", "-rounds", "4", "-mcmc", "10"}},
 	{pkg: "./examples/quickstart", run: true, args: []string{"-n", "60", "-m", "240", "-epochs", "3", "-mcmc", "10"}},
 	{pkg: "./examples/securecompare", run: true},
 	{pkg: "./examples/linkprediction", run: false},
@@ -56,6 +71,21 @@ func TestEntryPointsBuildAndRun(t *testing.T) {
 		t.Skipf("go binary not available: %v", err)
 	}
 	binDir := t.TempDir()
+
+	// Seed the trace-driven rows: lumos-datagen writes the sample fleet
+	// trace that the lumos-sim-trace row loads, so the smoke suite
+	// exercises the full write→load→simulate pipeline with no external
+	// inputs. Runs before the parallel rows; "{TRACE}" in args is
+	// substituted with the produced path.
+	tracePath := filepath.Join(binDir, "fleet.csv")
+	seedGen := filepath.Join(binDir, "trace-seed-datagen")
+	if out, err := exec.Command(goBin, "build", "-o", seedGen, "./cmd/lumos-datagen").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/lumos-datagen: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(seedGen, "-traces", "-devices", "24", "-seed", "3", "-out", tracePath).CombinedOutput(); err != nil {
+		t.Fatalf("lumos-datagen -traces: %v\n%s", err, out)
+	}
+
 	for _, ep := range entryPoints {
 		ep := ep
 		name := ep.name
@@ -72,10 +102,14 @@ func TestEntryPointsBuildAndRun(t *testing.T) {
 			if !ep.run {
 				return
 			}
-			cmd := exec.Command(bin, ep.args...)
+			args := make([]string, len(ep.args))
+			for i, a := range ep.args {
+				args[i] = strings.ReplaceAll(a, "{TRACE}", tracePath)
+			}
+			cmd := exec.Command(bin, args...)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
-				t.Fatalf("%s %s: %v\n%s", ep.pkg, strings.Join(ep.args, " "), err, out)
+				t.Fatalf("%s %s: %v\n%s", ep.pkg, strings.Join(args, " "), err, out)
 			}
 			if len(out) == 0 {
 				t.Fatalf("%s produced no output", ep.pkg)
