@@ -1,6 +1,6 @@
 # Developer entry points. `make ci` is the gate PRs must keep green.
 
-.PHONY: build test race bench ci
+.PHONY: build test race bench bench-serve ci
 
 build:
 	go build ./...
@@ -19,6 +19,13 @@ race:
 # internal/core/alloc_test.go and runs under `make ci`).
 bench:
 	go test -run xxx -bench 'BenchmarkEpoch' -benchtime 10x -benchmem .
+
+# Serving benchmark: train, publish a snapshot, replay zipf query traffic
+# against a live replica, hot-swap to a republished model under load, and
+# record p50/p99 latency + QPS in BENCH_serve.json.
+bench-serve:
+	go run ./cmd/lumos-bench -serve -fbscale 0.02 -epochs 8 -mcmc 30 \
+		-serve-queries 4000 -serve-conc 8 -serve-out BENCH_serve.json
 
 ci:
 	./scripts/ci.sh

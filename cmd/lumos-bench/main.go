@@ -7,6 +7,7 @@
 //	lumos-bench -exp fig3                 # one experiment
 //	lumos-bench -exp all -epochs 100      # the full suite, longer training
 //	lumos-bench -exp fig7 -csv            # CSV output (full CDF curves)
+//	lumos-bench -serve                    # serving latency/QPS -> BENCH_serve.json
 package main
 
 import (
@@ -38,8 +39,21 @@ func main() {
 		sched   = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
 		stale   = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
 		noTape  = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
+
+		serveBench   = flag.Bool("serve", false, "benchmark the serving path (train, publish, replay zipf queries, hot-swap) instead of the paper experiments")
+		serveQueries = flag.Int("serve-queries", 4000, "total queries in the -serve headline phase")
+		serveConc    = flag.Int("serve-conc", 8, "concurrent load-generator workers for -serve")
+		serveOut     = flag.String("serve-out", "BENCH_serve.json", "where -serve writes its latency/QPS report")
 	)
 	flag.Parse()
+
+	if *serveBench {
+		check(runServeBench(serveBenchConfig{
+			fbScale: *fbScale, epochs: *epochs, mcmc: *mcmc,
+			queries: *serveQueries, conc: *serveConc, out: *serveOut, seed: *seed,
+		}))
+		return
+	}
 
 	schedMode, err := core.ParseSched(*sched)
 	if err != nil {

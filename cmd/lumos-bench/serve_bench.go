@@ -1,0 +1,169 @@
+package main
+
+// The -serve benchmark measures the serving side of the train→publish→serve
+// loop: it trains a small model, publishes snapshot v1, replays a
+// zipf-distributed query workload against a live lumos-serve replica, then
+// hot-swaps to a republished v2 under load. Results (p50/p99 latency, QPS,
+// versions observed) land in a JSON file for trend tracking.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lumos/internal/core"
+	"lumos/internal/graph"
+	"lumos/internal/serve"
+	"lumos/internal/snapshot"
+)
+
+type serveBenchConfig struct {
+	fbScale float64
+	epochs  int
+	mcmc    int
+	queries int
+	conc    int
+	out     string
+	seed    int64
+}
+
+type serveBenchReport struct {
+	Dataset    string            `json:"dataset"`
+	Nodes      int               `json:"nodes"`
+	Headline   *serve.LoadReport `json:"headline"`
+	HotSwap    *serve.LoadReport `json:"hotswap"`
+	SwapLatMs  float64           `json:"swap_latency_ms"`
+	Versions   []uint64          `json:"versions_published"`
+	GeneratedS int64             `json:"generated_unix"`
+}
+
+func runServeBench(cfg serveBenchConfig) error {
+	g, err := graph.LoadDataset("facebook", cfg.fbScale, cfg.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve bench: dataset %s N=%d\n", g.Name, g.N)
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rng)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(g, g, core.Config{
+		Task: core.Supervised, Epochs: cfg.epochs, MCMCIterations: cfg.mcmc, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := sys.TrainSupervised(split); err != nil {
+		return err
+	}
+
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("lumos-bench-serve-%d.snap", os.Getpid()))
+	defer os.Remove(path)
+	publish := func(round int) (uint64, *serve.Bundle, error) {
+		acc, err := sys.EvaluateAccuracy(split.IsTest)
+		if err != nil {
+			return 0, nil, err
+		}
+		snap, err := snapshot.Capture(sys, snapshot.Meta{
+			Dataset: g.Name, Seed: cfg.seed, Round: round,
+			Metric: acc, MetricName: "accuracy", CreatedUnix: time.Now().Unix(),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		v, err := snapshot.PublishNext(path, snap)
+		if err != nil {
+			return 0, nil, err
+		}
+		loaded, err := snapshot.Read(path)
+		if err != nil {
+			return 0, nil, err
+		}
+		b, err := serve.NewBundle(loaded)
+		return v, b, err
+	}
+
+	srv := serve.New(serve.Options{})
+	defer srv.Close()
+	v1, b1, err := publish(cfg.epochs)
+	if err != nil {
+		return err
+	}
+	srv.Swap(b1)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Headline phase: steady-state latency and throughput at v1.
+	headline, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL: base, Queries: cfg.queries, Concurrency: cfg.conc,
+		Nodes: g.N, ClassifyFrac: 0.7, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve bench: v%d  p50 %.3fms  p99 %.3fms  %.0f qps\n",
+		v1, headline.P50ms, headline.P99ms, headline.QPS)
+
+	// Hot-swap phase: train further, republish, swap under load.
+	if _, err := sys.TrainSupervised(split); err != nil {
+		return err
+	}
+	v2, b2, err := publish(2 * cfg.epochs)
+	if err != nil {
+		return err
+	}
+	swapStart := time.Now()
+	if !srv.Swap(b2) {
+		return fmt.Errorf("serve bench: swap to v%d rejected", v2)
+	}
+	swapLat := time.Since(swapStart)
+	hotswap, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL: base, Queries: cfg.queries / 4, Concurrency: cfg.conc,
+		Nodes: g.N, ClassifyFrac: 0.7, Seed: cfg.seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	if hotswap.Regressions > 0 || headline.Regressions > 0 {
+		return fmt.Errorf("serve bench: observed %d version regressions",
+			hotswap.Regressions+headline.Regressions)
+	}
+	if hotswap.MaxVersion != v2 {
+		return fmt.Errorf("serve bench: post-swap queries saw v%d, want v%d", hotswap.MaxVersion, v2)
+	}
+	fmt.Printf("serve bench: v%d  p50 %.3fms  p99 %.3fms  %.0f qps  (swap %.3fms)\n",
+		v2, hotswap.P50ms, hotswap.P99ms, hotswap.QPS, float64(swapLat)/float64(time.Millisecond))
+
+	rep := serveBenchReport{
+		Dataset:    g.Name,
+		Nodes:      g.N,
+		Headline:   headline,
+		HotSwap:    hotswap,
+		SwapLatMs:  float64(swapLat) / float64(time.Millisecond),
+		Versions:   []uint64{v1, v2},
+		GeneratedS: time.Now().Unix(),
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve bench: wrote %s\n", cfg.out)
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command lumos-serve answers node-classification and link-scoring queries
+// over HTTP from a published model snapshot. With -watch it polls the
+// snapshot file and hot-swaps atomically whenever the trainer republishes a
+// newer version — in-flight queries finish on the old model, the next batch
+// sees the new one, and the served version never moves backwards.
+//
+// Usage:
+//
+//	lumos-train -dataset facebook -publish model.snap
+//	lumos-serve -snapshot model.snap -addr :8080 -watch
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/info
+//	curl -d '{"nodes":[4,7]}' localhost:8080/v1/classify
+//	curl -d '{"pairs":[[0,1],[2,3]]}' localhost:8080/v1/score
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"lumos/internal/serve"
+	"lumos/internal/snapshot"
+)
+
+func main() {
+	var (
+		snapPath  = flag.String("snapshot", "model.snap", "snapshot file to serve (published by lumos-train -publish)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
+		watch     = flag.Bool("watch", false, "poll the snapshot file and hot-swap when a newer version is published")
+		interval  = flag.Duration("watch-interval", 500*time.Millisecond, "snapshot poll interval with -watch")
+		batch     = flag.Int("batch", 64, "max queries answered per bundle load")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "how long a non-full batch waits for more queries")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "lumos-serve: ", log.LstdFlags)
+	srv := serve.New(serve.Options{
+		MaxBatch:  *batch,
+		BatchWait: *batchWait,
+		Logf:      logger.Printf,
+	})
+	defer srv.Close()
+
+	// Load the initial snapshot up front so a bad path fails loudly at
+	// startup; with -watch a missing file is tolerated (the trainer may not
+	// have published yet) and picked up on the first poll that finds it.
+	if snap, err := snapshot.Read(*snapPath); err != nil {
+		if !*watch {
+			fatalf("%v", err)
+		}
+		logger.Printf("waiting for %s: %v", *snapPath, err)
+	} else {
+		b, err := serve.NewBundle(snap)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		srv.Swap(b)
+	}
+	if *watch {
+		stop := srv.Watch(*snapPath, *interval)
+		defer stop()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// The resolved address goes to stdout so scripts serving on an
+	// ephemeral port (-addr 127.0.0.1:0) can find it.
+	fmt.Printf("serving %s on http://%s\n", *snapPath, ln.Addr())
+	if err := (&http.Server{Handler: srv.Handler()}).Serve(ln); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lumos-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@
 //	lumos-train -dataset facebook -scale 0.02 -backbone gcn -epochs 60
 //	lumos-train -dataset lastfm -task unsupervised -eps 4
 //	lumos-train -dataset facebook -save model.bin
+//	lumos-train -dataset facebook -publish model.snap   # serve with lumos-serve
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"lumos/internal/core"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/snapshot"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		noTT     = flag.Bool("no-tree-trimming", false, "ablation: disable tree trimming")
 		seed     = flag.Int64("seed", 7, "run seed")
 		save     = flag.String("save", "", "write trained model parameters to this file")
+		publish  = flag.String("publish", "", "publish a versioned serving snapshot to this file (atomic; version auto-increments)")
 		workers  = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
 		sched    = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
 		stale    = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
@@ -90,6 +93,7 @@ func main() {
 		printStats(stats, *epochs)
 		fmt.Printf("test accuracy: %.4f\n", acc)
 		maybeSave(*save, sys)
+		maybePublish(*publish, sys, g.Name, *seed, *epochs, acc, "accuracy")
 	case core.Unsupervised:
 		es, err := graph.SplitEdges(g, 0.8, 0.05, rng)
 		check(err)
@@ -104,6 +108,7 @@ func main() {
 		printStats(stats, *epochs)
 		fmt.Printf("test ROC-AUC: %.4f\n", auc)
 		maybeSave(*save, sys)
+		maybePublish(*publish, sys, g.Name, *seed, *epochs, auc, "roc-auc")
 	default:
 		fatalf("unknown task %q", *task)
 	}
@@ -126,9 +131,29 @@ func maybeSave(path string, sys *core.System) {
 	}
 	f, err := os.Create(path)
 	check(err)
-	defer f.Close()
-	check(nn.SaveParams(f, sys))
+	if err := nn.SaveParams(f, sys); err != nil {
+		f.Close()
+		fatalf("%v", err)
+	}
+	// A failed close can mean buffered bytes never hit the disk; a silently
+	// truncated checkpoint is worse than no checkpoint.
+	check(f.Close())
 	fmt.Printf("saved model parameters to %s\n", path)
+}
+
+func maybePublish(path string, sys *core.System, dataset string, seed int64, round int, metric float64, metricName string) {
+	if path == "" {
+		return
+	}
+	snap, err := snapshot.Capture(sys, snapshot.Meta{
+		Dataset: dataset, Seed: seed, Round: round,
+		Metric: metric, MetricName: metricName,
+		CreatedUnix: time.Now().Unix(),
+	})
+	check(err)
+	v, err := snapshot.PublishNext(path, snap)
+	check(err)
+	fmt.Printf("published snapshot v%d to %s\n", v, path)
 }
 
 func check(err error) {

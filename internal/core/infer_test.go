@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lumos/internal/graph"
+	"lumos/internal/nn"
+)
+
+// trainTiny builds and briefly trains a small system for inference tests.
+func trainTiny(t *testing.T, task Task, backbone nn.Backbone, seed int64) (*System, *graph.NodeSplit, *graph.EdgeSplit) {
+	t.Helper()
+	g := testGraph(t, 48, 180, 3, seed)
+	cfg := Config{
+		Task: task, Backbone: backbone,
+		Epochs: 2, MCMCIterations: 10, Shards: 7, Workers: 2, Seed: seed,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch task {
+	case Supervised:
+		split, err := graph.SplitNodes(g, 0.5, 0.25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(g, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.TrainSupervised(split); err != nil {
+			t.Fatal(err)
+		}
+		return sys, split, nil
+	default:
+		es, err := graph.SplitEdges(g, 0.8, 0.05, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(es.TrainGraph, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.TrainUnsupervised(es); err != nil {
+			t.Fatal(err)
+		}
+		return sys, nil, es
+	}
+}
+
+// TestInferenceSystemBitIdentical: a forest-state round trip plus the
+// training modules must reproduce embeddings, predictions, and pair scores
+// bit for bit, for both tasks and both backbones, at any worker count.
+func TestInferenceSystemBitIdentical(t *testing.T) {
+	cases := []struct {
+		name     string
+		task     Task
+		backbone nn.Backbone
+	}{
+		{"supervised-gcn", Supervised, nn.GCN},
+		{"supervised-gat", Supervised, nn.GAT},
+		{"unsupervised-gcn", Unsupervised, nn.GCN},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, split, es := trainTiny(t, tc.task, tc.backbone, 31)
+			fs := sys.ForestState()
+			if err := fs.Validate(); err != nil {
+				t.Fatalf("captured state invalid: %v", err)
+			}
+			for _, workers := range []int{1, 3} {
+				inf, err := NewInferenceSystem(fs, sys.Encoder, sys.Head, sys.ShardCount(), workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, got := sys.Embeddings(), inf.Embeddings()
+				if !reflect.DeepEqual(want.Data(), got.Data()) {
+					t.Fatalf("workers=%d: inference embeddings differ from training system", workers)
+				}
+				if tc.task == Supervised {
+					wp, err := sys.Predictions()
+					if err != nil {
+						t.Fatal(err)
+					}
+					gp, err := inf.Predictions()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(wp, gp) {
+						t.Fatalf("workers=%d: predictions differ", workers)
+					}
+					acc, err := sys.EvaluateAccuracy(split.IsTest)
+					if err != nil {
+						t.Fatal(err)
+					}
+					correct, total := 0, 0
+					for v, mask := range split.IsTest {
+						if !mask {
+							continue
+						}
+						total++
+						if gp[v] == sys.G.Labels[v] {
+							correct++
+						}
+					}
+					if got := float64(correct) / float64(total); got != acc {
+						t.Fatalf("accuracy from served predictions %v != EvaluateAccuracy %v", got, acc)
+					}
+				} else {
+					pairs := append(append([][2]int(nil), es.Test...), es.TestNeg...)
+					ws, err := sys.PairScores(pairs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gs, err := inf.PairScores(pairs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(ws, gs) {
+						t.Fatalf("workers=%d: pair scores differ", workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInferenceSystemRepeatedForwards: evaluation forwards must be
+// repeatable on the recycled tapes (the serving path recomputes the
+// embedding cache once per snapshot swap).
+func TestInferenceSystemRepeatedForwards(t *testing.T) {
+	sys, _, _ := trainTiny(t, Supervised, nn.GCN, 33)
+	inf, err := NewInferenceSystem(sys.ForestState(), sys.Encoder, sys.Head, sys.ShardCount(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := inf.Embeddings()
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(first.Data(), inf.Embeddings().Data()) {
+			t.Fatalf("forward %d drifted", i+2)
+		}
+	}
+}
+
+func TestForestStateValidation(t *testing.T) {
+	sys, _, _ := trainTiny(t, Supervised, nn.GCN, 35)
+	shards := sys.ShardCount()
+
+	corrupt := []struct {
+		name string
+		mut  func(fs *ForestState)
+		want string
+	}{
+		{"truncated node counts", func(fs *ForestState) { fs.TreeNodes = fs.TreeNodes[:1] }, "node counts"},
+		{"zero-node tree", func(fs *ForestState) { fs.TreeNodes[0] = 0 }, "nodes"},
+		{"edge out of range", func(fs *ForestState) {
+			fs.TreeEdges[0] = [][2]int{{0, 1 << 20}}
+		}, "out of range"},
+		{"row count mismatch", func(fs *ForestState) { fs.TreeNodes[0]++ }, "embedding rows"},
+		{"leaf arrays disagree", func(fs *ForestState) { fs.PoolCoef = fs.PoolCoef[:1] }, "leaf arrays"},
+		{"descending leaf rows", func(fs *ForestState) {
+			fs.LeafRows[1] = fs.LeafRows[0]
+		}, "ascending"},
+		{"leaf vertex out of range", func(fs *ForestState) { fs.LeafVertex[0] = fs.N }, "leaf vertex"},
+		{"bad pooling coefficient", func(fs *ForestState) { fs.PoolCoef[0] = -0.5 }, "coefficient"},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := sys.ForestState()
+			tc.mut(fs)
+			err := fs.Validate()
+			if err == nil {
+				t.Fatal("corrupt state validated")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("constructor checks", func(t *testing.T) {
+		fs := sys.ForestState()
+		if _, err := NewInferenceSystem(fs, nil, nil, shards, 0); err == nil {
+			t.Fatal("nil encoder accepted")
+		}
+		if _, err := NewInferenceSystem(fs, sys.Encoder, sys.Head, 0, 0); err == nil {
+			t.Fatal("zero shard count accepted")
+		}
+		other := nn.NewLinear("head", sys.Encoder.Cfg.OutDim+1, 3, rand.New(rand.NewSource(1)))
+		if _, err := NewInferenceSystem(fs, sys.Encoder, other, shards, 0); err == nil {
+			t.Fatal("mismatched head accepted")
+		}
+	})
+}
+
+// TestForestStateIsDeepCopy: mutating the capture must not reach back into
+// the live system.
+func TestForestStateIsDeepCopy(t *testing.T) {
+	sys, _, _ := trainTiny(t, Supervised, nn.GCN, 37)
+	fs := sys.ForestState()
+	before := sys.Embeddings()
+	fs.X.Fill(0)
+	fs.LeafRows[0] = -1
+	if len(fs.TreeEdges[0]) > 0 {
+		fs.TreeEdges[0][0] = [2]int{-9, -9}
+	}
+	after := sys.Embeddings()
+	if !reflect.DeepEqual(before.Data(), after.Data()) {
+		t.Fatal("mutating the captured state changed the live system")
+	}
+}

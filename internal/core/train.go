@@ -182,33 +182,28 @@ func (s *System) Embeddings() *tensor.Matrix {
 }
 
 // EvaluateAccuracy computes classification accuracy over the masked
-// vertices (e.g. the test split) in evaluation mode.
+// vertices (e.g. the test split) in evaluation mode. It scores exactly the
+// Predictions a serving replica answers with, so a snapshot-reconstructed
+// system reproduces this metric bit for bit.
 func (s *System) EvaluateAccuracy(mask []bool) (float64, error) {
-	if s.Head == nil {
+	pred, err := s.Predictions()
+	if err != nil {
 		return 0, fmt.Errorf("core: accuracy evaluation needs a supervised system")
-	}
-	pooled := s.forward(false)
-	logits := s.Head.Forward(pooled)
-	pred := make([]int, s.G.N)
-	for v := 0; v < s.G.N; v++ {
-		pred[v] = tensor.ArgMaxRow(logits.Data, v)
 	}
 	return metrics.Accuracy(pred, s.G.Labels, mask)
 }
 
 // EvaluateAUC scores positive and negative vertex pairs with the embedding
-// dot product and returns the ROC-AUC (paper Fig. 4 metric).
+// dot product and returns the ROC-AUC (paper Fig. 4 metric). The scores are
+// exactly the PairScores a serving replica answers with.
 func (s *System) EvaluateAUC(pos, neg [][2]int) (float64, error) {
-	emb := s.forward(false).Data
-	scores := make([]float64, 0, len(pos)+len(neg))
-	labels := make([]bool, 0, len(pos)+len(neg))
-	for _, e := range pos {
-		scores = append(scores, tensor.RowDot(emb, e[0], emb, e[1]))
-		labels = append(labels, true)
+	scores, err := s.PairScores(append(append(make([][2]int, 0, len(pos)+len(neg)), pos...), neg...))
+	if err != nil {
+		return 0, err
 	}
-	for _, e := range neg {
-		scores = append(scores, tensor.RowDot(emb, e[0], emb, e[1]))
-		labels = append(labels, false)
+	labels := make([]bool, len(scores))
+	for i := range pos {
+		labels[i] = true
 	}
 	return metrics.ROCAUC(scores, labels)
 }

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad, the replayed query workload lumos-bench uses
+// to measure a serving replica.
+type LoadConfig struct {
+	// BaseURL is the replica to hit, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Queries is the total query count across all workers.
+	Queries int
+	// Concurrency is the worker count (default 4).
+	Concurrency int
+	// Nodes is the served graph's vertex count; queried IDs are drawn from
+	// a zipf distribution over it — a few hot vertices dominate, the long
+	// tail trickles, like real user traffic.
+	Nodes int
+	// ZipfS is the zipf skew (>1; default 1.3).
+	ZipfS float64
+	// ClassifyFrac is the fraction of classify queries (the rest score
+	// vertex pairs). Use 0 for a headless model.
+	ClassifyFrac float64
+	// Seed makes the replay deterministic.
+	Seed int64
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Queries     int     `json:"queries"`
+	Errors      int     `json:"errors"`
+	Elapsed     float64 `json:"elapsed_sec"`
+	QPS         float64 `json:"qps"`
+	P50ms       float64 `json:"p50_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	MinVersion  uint64  `json:"min_version"`
+	MaxVersion  uint64  `json:"max_version"`
+	Regressions int     `json:"version_regressions"`
+}
+
+// RunLoad replays cfg.Queries zipf-distributed queries against a replica
+// and reports latency percentiles, throughput, and the snapshot versions
+// observed. Regressions counts answers whose version moved backwards
+// within one worker's ordered stream — always 0 against a correct server,
+// even while snapshots hot-swap mid-run.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Queries <= 0 || cfg.Nodes <= 0 || cfg.BaseURL == "" {
+		return nil, fmt.Errorf("serve: load config needs BaseURL, Queries, and Nodes")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.3
+	}
+
+	type workerStats struct {
+		latencies   []time.Duration
+		errors      int
+		minV, maxV  uint64
+		regressions int
+	}
+	stats := make([]workerStats, cfg.Concurrency)
+	per := cfg.Queries / cfg.Concurrency
+	extra := cfg.Queries % cfg.Concurrency
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			st := &stats[w]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Nodes-1))
+			st.latencies = make([]time.Duration, 0, n)
+			var lastV uint64
+			for i := 0; i < n; i++ {
+				var version uint64
+				var err error
+				t0 := time.Now()
+				if rng.Float64() < cfg.ClassifyFrac {
+					version, err = queryClassify(client, cfg.BaseURL, []int{int(zipf.Uint64())})
+				} else {
+					version, err = queryScore(client, cfg.BaseURL, [][2]int{{int(zipf.Uint64()), int(zipf.Uint64())}})
+				}
+				st.latencies = append(st.latencies, time.Since(t0))
+				if err != nil {
+					st.errors++
+					continue
+				}
+				if version < lastV {
+					st.regressions++
+				}
+				lastV = version
+				if st.minV == 0 || version < st.minV {
+					st.minV = version
+				}
+				if version > st.maxV {
+					st.maxV = version
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Queries: cfg.Queries, Elapsed: elapsed.Seconds()}
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.latencies...)
+		rep.Errors += st.errors
+		rep.Regressions += st.regressions
+		if st.minV > 0 && (rep.MinVersion == 0 || st.minV < rep.MinVersion) {
+			rep.MinVersion = st.minV
+		}
+		if st.maxV > rep.MaxVersion {
+			rep.MaxVersion = st.maxV
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50ms = percentileMs(all, 0.50)
+	rep.P99ms = percentileMs(all, 0.99)
+	if elapsed > 0 {
+		rep.QPS = float64(cfg.Queries) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func queryClassify(c *http.Client, base string, nodes []int) (uint64, error) {
+	var resp classifyResponse
+	if err := postJSON(c, base+"/v1/classify", classifyRequest{nodes}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+func queryScore(c *http.Client, base string, pairs [][2]int) (uint64, error) {
+	var resp scoreResponse
+	if err := postJSON(c, base+"/v1/score", scoreRequest{pairs}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+func postJSON(c *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, r.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}

@@ -1,0 +1,363 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lumos/internal/core"
+	"lumos/internal/graph"
+)
+
+// trainedSystem briefly trains a small system through the public core API.
+func trainedSystem(t *testing.T, task core.Task, seed int64) (*core.System, *graph.NodeSplit, *graph.EdgeSplit) {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "snaptest", N: 40, M: 140, Classes: 3, FeatureDim: 12,
+		Homophily: 0.85, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Task: task, Epochs: 2, MCMCIterations: 10, Shards: 5, Workers: 2, Seed: seed,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if task == core.Supervised {
+		split, err := graph.SplitNodes(g, 0.5, 0.25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(g, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.TrainSupervised(split); err != nil {
+			t.Fatal(err)
+		}
+		return sys, split, nil
+	}
+	es, err := graph.SplitEdges(g, 0.8, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(es.TrainGraph, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TrainUnsupervised(es); err != nil {
+		t.Fatal(err)
+	}
+	return sys, nil, es
+}
+
+func encodeOf(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTrip: capture → encode → decode must reproduce metadata
+// and answer queries bit-identically to the live training system, for both
+// tasks.
+func TestSnapshotRoundTrip(t *testing.T) {
+	t.Run("supervised", func(t *testing.T) {
+		sys, split, _ := trainedSystem(t, core.Supervised, 41)
+		meta := Meta{
+			Version: 7, Dataset: "snaptest", Seed: 41, Round: 2,
+			Metric: 0.5, MetricName: "accuracy", CreatedUnix: 1700000000,
+		}
+		snap, err := Capture(sys, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(bytes.NewReader(encodeOf(t, snap)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := meta
+		want.Task, want.Backbone = "supervised", "GCN"
+		if got.Meta != want {
+			t.Fatalf("metadata round trip: got %+v, want %+v", got.Meta, want)
+		}
+		if got.Model != snap.Model || got.Classes != snap.Classes || got.Shards != snap.Shards {
+			t.Fatalf("architecture round trip: got %+v/%d/%d", got.Model, got.Classes, got.Shards)
+		}
+
+		inf, err := got.System()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sys.Embeddings().Data(), inf.Embeddings().Data()) {
+			t.Fatal("decoded embeddings differ from training system")
+		}
+		wp, err := sys.Predictions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := inf.Predictions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wp, gp) {
+			t.Fatal("decoded predictions differ from training system")
+		}
+		acc, err := sys.EvaluateAccuracy(split.IsTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct, total := 0, 0
+		for v, mask := range split.IsTest {
+			if !mask {
+				continue
+			}
+			total++
+			if gp[v] == sys.G.Labels[v] {
+				correct++
+			}
+		}
+		if served := float64(correct) / float64(total); served != acc {
+			t.Fatalf("accuracy from decoded snapshot %v != EvaluateAccuracy %v", served, acc)
+		}
+	})
+
+	t.Run("unsupervised", func(t *testing.T) {
+		sys, _, es := trainedSystem(t, core.Unsupervised, 43)
+		snap, err := Capture(sys, Meta{Version: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Head != nil || snap.Classes != 0 {
+			t.Fatalf("unsupervised capture has a head (%d classes)", snap.Classes)
+		}
+		got, err := Decode(bytes.NewReader(encodeOf(t, snap)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf, err := got.System()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := append(append([][2]int(nil), es.Test...), es.TestNeg...)
+		ws, err := sys.PairScores(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := inf.PairScores(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ws, gs) {
+			t.Fatal("decoded pair scores differ from training system")
+		}
+		if _, err := inf.Predictions(); err == nil {
+			t.Fatal("headless snapshot answered class predictions")
+		}
+	})
+}
+
+// TestSnapshotCaptureIsFrozen: training after Capture must not change what
+// the snapshot decodes to.
+func TestSnapshotCaptureIsFrozen(t *testing.T) {
+	sys, split, _ := trainedSystem(t, core.Supervised, 47)
+	snap, err := Capture(sys, Meta{Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := encodeOf(t, snap)
+	if _, err := sys.TrainSupervised(split); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, encodeOf(t, snap)) {
+		t.Fatal("continued training mutated a captured snapshot")
+	}
+}
+
+// TestSnapshotCorruption flips one bit at sampled offsets; every corruption
+// must surface as a decode error (CRC mismatch or a bounds check), never a
+// silently-wrong model or a huge allocation.
+func TestSnapshotCorruption(t *testing.T) {
+	sys, _, _ := trainedSystem(t, core.Supervised, 53)
+	snap, err := Capture(sys, Meta{Version: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := encodeOf(t, snap)
+	if _, err := Decode(bytes.NewReader(good)); err != nil {
+		t.Fatalf("intact snapshot failed to decode: %v", err)
+	}
+
+	step := len(good) / 64
+	if step < 1 {
+		step = 1
+	}
+	offsets := make([]int, 0, 80)
+	for off := 0; off < len(good); off += step {
+		offsets = append(offsets, off)
+	}
+	// Always include the trailer bytes.
+	for off := len(good) - 4; off < len(good); off++ {
+		offsets = append(offsets, off)
+	}
+	for _, off := range offsets {
+		for _, bit := range []byte{0x01, 0x80} {
+			corrupt := append([]byte(nil), good...)
+			corrupt[off] ^= bit
+			if _, err := Decode(bytes.NewReader(corrupt)); err == nil {
+				t.Fatalf("bit flip at offset %d (mask %#x) decoded without error", off, bit)
+			}
+		}
+	}
+}
+
+// TestSnapshotTruncation: every truncated prefix must fail cleanly.
+func TestSnapshotTruncation(t *testing.T) {
+	sys, _, _ := trainedSystem(t, core.Supervised, 59)
+	snap, err := Capture(sys, Meta{Version: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := encodeOf(t, snap)
+	// Every boundary through the fixed-size head, then sampled thereafter.
+	for n := 0; n < len(good); n++ {
+		if n > 256 && n%89 != 0 {
+			continue
+		}
+		if _, err := Decode(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) decoded without error", n, len(good))
+		}
+	}
+}
+
+func TestSnapshotBadMagicAndFormat(t *testing.T) {
+	sys, _, _ := trainedSystem(t, core.Supervised, 61)
+	snap, err := Capture(sys, Meta{Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := encodeOf(t, snap)
+
+	badMagic := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(badMagic[0:], 0xdeadbeef)
+	if _, err := Decode(bytes.NewReader(badMagic)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+
+	badFormat := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(badFormat[4:], formatVersion+1)
+	if _, err := Decode(bytes.NewReader(badFormat)); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("want format-version error, got %v", err)
+	}
+
+	if _, err := Decode(bytes.NewReader(append(good, 0x00))); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-data error, got %v", err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snap")
+	if err := os.WriteFile(path, badMagic, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekVersion(path); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("PeekVersion on bad magic: got %v", err)
+	}
+}
+
+// TestSnapshotPublish exercises the Write/PublishNext/PeekVersion loop:
+// atomic publish, monotonically increasing versions, recovery from an
+// unreadable predecessor.
+func TestSnapshotPublish(t *testing.T) {
+	sys, _, _ := trainedSystem(t, core.Supervised, 67)
+	snap, err := Capture(sys, Meta{Dataset: "snaptest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snap")
+
+	v, err := PublishNext(path, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("first publish got version %d, want 1", v)
+	}
+	if got, err := PeekVersion(path); err != nil || got != 1 {
+		t.Fatalf("PeekVersion = %d, %v; want 1", got, err)
+	}
+
+	v, err = PublishNext(path, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("second publish got version %d, want 2", v)
+	}
+	loaded, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Meta.Version != 2 || loaded.Meta.Dataset != "snaptest" {
+		t.Fatalf("read back %+v", loaded.Meta)
+	}
+
+	// No temp files may be left behind by the atomic rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.snap" {
+		t.Fatalf("publish left extra files: %v", entries)
+	}
+
+	// An unreadable predecessor restarts the version sequence rather than
+	// blocking publishes.
+	garbled := filepath.Join(dir, "garbled.snap")
+	if err := os.WriteFile(garbled, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v, err = PublishNext(garbled, snap); err != nil || v != 1 {
+		t.Fatalf("publish over garbage: got %d, %v; want 1", v, err)
+	}
+}
+
+// TestSnapshotEncodeRejectsIncomplete: encoding must validate up front.
+func TestSnapshotEncodeRejectsIncomplete(t *testing.T) {
+	sys, _, _ := trainedSystem(t, core.Supervised, 71)
+	snap, err := Capture(sys, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+
+	broken := *snap
+	broken.Encoder = nil
+	if err := broken.Encode(&buf); err == nil {
+		t.Fatal("encoded snapshot without encoder")
+	}
+	broken = *snap
+	broken.Shards = 0
+	if err := broken.Encode(&buf); err == nil {
+		t.Fatal("encoded snapshot with zero shards")
+	}
+	broken = *snap
+	broken.Head = nil
+	if err := broken.Encode(&buf); err == nil {
+		t.Fatal("encoded snapshot with classes but no head")
+	}
+	st := *snap.State
+	st.LeafRows = st.LeafRows[:1]
+	broken = *snap
+	broken.State = &st
+	if err := broken.Encode(&buf); err == nil {
+		t.Fatal("encoded snapshot with inconsistent forest state")
+	}
+}

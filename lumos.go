@@ -132,6 +132,42 @@
 // radio bytes × CostModel.RadioEnergyPerByte, surfacing per-round fleet
 // joules in SimRoundStats.Energy, cumulative and per-device totals in
 // SimResult, and the energy/metric trade-off study in examples/energystudy.
+//
+// # Snapshots and serving
+//
+// Trained models leave the training process through versioned snapshots
+// (internal/snapshot) and come back to life in serving replicas
+// (internal/serve), closing the train→publish→serve loop:
+//
+//	snap, _ := lumos.CaptureSnapshot(sys, lumos.SnapshotMeta{Dataset: g.Name})
+//	v, _ := lumos.PublishSnapshot("model.snap", snap) // atomic write, version v
+//
+//	srv := lumos.NewServer(lumos.ServeOptions{})
+//	defer srv.Close()
+//	stop := srv.Watch("model.snap", 0) // hot-swap on republish
+//	defer stop()
+//	http.ListenAndServe(":8080", srv.Handler())
+//
+// A snapshot carries metadata (task, backbone, dataset, seed, round,
+// metric), the encoder and head weights through the hardened length-checked
+// checkpoint codec, and the per-device tree state, all under a CRC-32
+// trailer — truncation, bit flips, bad magic, and oversized length fields
+// fail loudly at decode time with bounded allocation. Publishing is atomic
+// (temp file + fsync + rename) and PublishSnapshot auto-increments the
+// version, so a watcher polling the file sees either the old complete
+// snapshot or the new one, never a torn write.
+//
+// Because a snapshot pins the training shard partition, the rebuilt
+// inference system reproduces the training system's floating-point
+// reduction order exactly: every served class and link score is
+// bit-identical to what EvaluateAccuracy / EvaluateAUC computed in the
+// training process. The serving replica batches queries against an
+// immutable bundle (embedding cache + precomputed predictions) behind an
+// atomic pointer; hot swaps are lock-free, reject stale versions, and each
+// answer names the snapshot version it came from. Entry points: the
+// lumos-serve CLI (HTTP: /healthz, /v1/info, /v1/classify, /v1/score),
+// lumos-train -publish, lumos-bench -serve (zipf load replay →
+// BENCH_serve.json), and the examples/servequickstart walkthrough.
 package lumos
 
 import (
@@ -142,7 +178,9 @@ import (
 	"lumos/internal/fleet"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/serve"
 	"lumos/internal/sim"
+	"lumos/internal/snapshot"
 )
 
 // Graph and dataset handling.
@@ -318,6 +356,63 @@ func SampleTrace(devices int, seed int64) (*Trace, error) {
 func NewSimulator(sys *System, sc SimScenario) (*Simulator, error) {
 	return sim.New(sys, sc)
 }
+
+// Snapshots and serving (see the package documentation).
+type (
+	// Snapshot is a captured model: metadata, architecture, weights, and
+	// the per-device tree state a serving replica needs.
+	Snapshot = snapshot.Snapshot
+	// SnapshotMeta describes a snapshot (version, task, dataset, metric…).
+	SnapshotMeta = snapshot.Meta
+	// Server answers classification and link-scoring queries from the
+	// currently-published bundle, hot-swapping atomically on republish.
+	Server = serve.Server
+	// ServeOptions tunes a Server's query batching.
+	ServeOptions = serve.Options
+	// ServeBundle is one immutable snapshot prepared for serving.
+	ServeBundle = serve.Bundle
+	// ServeLoadConfig drives RunServeLoad, the zipf query-replay load
+	// generator behind lumos-bench -serve.
+	ServeLoadConfig = serve.LoadConfig
+	// ServeLoadReport summarizes one load run (p50/p99 latency, QPS,
+	// versions observed).
+	ServeLoadReport = serve.LoadReport
+)
+
+// CaptureSnapshot freezes a trained system into a snapshot; training may
+// continue afterwards without mutating the capture.
+func CaptureSnapshot(sys *System, meta SnapshotMeta) (*Snapshot, error) {
+	return snapshot.Capture(sys, meta)
+}
+
+// ReadSnapshot loads and fully verifies the snapshot file at path.
+func ReadSnapshot(path string) (*Snapshot, error) { return snapshot.Read(path) }
+
+// WriteSnapshot publishes a snapshot to path atomically (temp + fsync +
+// rename) at whatever version its metadata carries.
+func WriteSnapshot(path string, s *Snapshot) error { return snapshot.Write(path, s) }
+
+// PublishSnapshot atomically writes the snapshot to path with the next
+// version after the one currently published there, and returns it.
+func PublishSnapshot(path string, s *Snapshot) (uint64, error) {
+	return snapshot.PublishNext(path, s)
+}
+
+// PeekSnapshotVersion reads just the version from a snapshot file header —
+// the cheap staleness check watchers use before a full read.
+func PeekSnapshotVersion(path string) (uint64, error) { return snapshot.PeekVersion(path) }
+
+// NewServer builds a serving replica and starts its batching worker.
+func NewServer(opt ServeOptions) *Server { return serve.New(opt) }
+
+// NewServeBundle prepares a decoded snapshot for serving: it rebuilds the
+// inference system and materializes the embedding cache and predictions,
+// bit-identical to the training process's own evaluation.
+func NewServeBundle(s *Snapshot) (*ServeBundle, error) { return serve.NewBundle(s) }
+
+// RunServeLoad replays zipf-distributed queries against a serving replica
+// and reports latency percentiles, throughput, and versions observed.
+func RunServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) { return serve.RunLoad(cfg) }
 
 // Experiment harness (one runner per paper figure).
 type (

@@ -43,4 +43,28 @@ for row in lumos-sim-trace examples/energystudy; do
 	fi
 done
 
+# Serving-loop gates, re-run by name so a renamed or skipped guard fails
+# loudly: the checkpoint/snapshot corruption tables (corrupt files must fail
+# with bounded allocation), the hot-swap race suite, and the CLI-level
+# train → publish → serve → query → republish round trip.
+codec_out=$(go test -run 'TestLoadParamsCorruptLengthFields|TestLoadParamsTruncation' -count=1 -v ./internal/nn)
+snap_out=$(go test -run 'TestSnapshotCorruption|TestSnapshotTruncation' -count=1 -v ./internal/snapshot)
+swap_out=$(go test -race -run 'TestServeHotSwapRace' -count=1 -v ./internal/serve)
+e2e_out=$(go test -run 'TestServePublishServeQueryE2E' -count=1 -v .)
+for gate in \
+	"TestLoadParamsCorruptLengthFields:$codec_out" \
+	"TestLoadParamsTruncation:$codec_out" \
+	"TestSnapshotCorruption:$snap_out" \
+	"TestSnapshotTruncation:$snap_out" \
+	"TestServeHotSwapRace:$swap_out" \
+	"TestServePublishServeQueryE2E:$e2e_out"; do
+	name=${gate%%:*}
+	out=${gate#*:}
+	if ! grep -q -- "--- PASS: $name" <<<"$out"; then
+		echo "serving-loop gate $name did not pass:" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+done
+
 go test -race -short ./internal/... ./...

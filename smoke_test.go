@@ -56,7 +56,15 @@ var entryPoints = []struct {
 	{pkg: "./examples/energystudy", run: true, args: []string{
 		"-n", "60", "-m", "240", "-rounds", "4", "-mcmc", "10"}},
 	{pkg: "./examples/quickstart", run: true, args: []string{"-n", "60", "-m", "240", "-epochs", "3", "-mcmc", "10"}},
+	// servequickstart runs the whole train→publish→serve→query loop and
+	// exits non-zero if any served answer differs from the trainer's own
+	// evaluation, so this row is a CI gate on serving bit-identity.
+	{pkg: "./examples/servequickstart", run: true, args: []string{
+		"-n", "60", "-m", "240", "-epochs", "3", "-mcmc", "10"}},
 	{pkg: "./examples/securecompare", run: true},
+	// lumos-serve needs a published snapshot and an open port; the
+	// serve_e2e_test drives it for real, so build-only here.
+	{pkg: "./cmd/lumos-serve", run: false},
 	{pkg: "./examples/linkprediction", run: false},
 	{pkg: "./examples/privacysweep", run: false},
 	{pkg: "./examples/socialnetwork", run: false},
