@@ -9,15 +9,18 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"lumos/internal/core"
 	"lumos/internal/graph"
+	"lumos/internal/obs"
 	"lumos/internal/serve"
 	"lumos/internal/snapshot"
 )
@@ -33,13 +36,23 @@ type serveBenchConfig struct {
 }
 
 type serveBenchReport struct {
-	Dataset    string            `json:"dataset"`
-	Nodes      int               `json:"nodes"`
-	Headline   *serve.LoadReport `json:"headline"`
-	HotSwap    *serve.LoadReport `json:"hotswap"`
-	SwapLatMs  float64           `json:"swap_latency_ms"`
-	Versions   []uint64          `json:"versions_published"`
-	GeneratedS int64             `json:"generated_unix"`
+	Dataset   string            `json:"dataset"`
+	Nodes     int               `json:"nodes"`
+	Headline  *serve.LoadReport `json:"headline"`
+	HotSwap   *serve.LoadReport `json:"hotswap"`
+	SwapLatMs float64           `json:"swap_latency_ms"`
+	Versions  []uint64          `json:"versions_published"`
+	// Run metadata, so perf trajectories stay interpretable across boxes
+	// and toolchains.
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Args       []string `json:"args"`
+	GeneratedS int64    `json:"generated_unix"`
+	// Metrics is the replica's final /metrics scrape (Prometheus samples,
+	// flattened name -> value): batch sizes, per-endpoint latency buckets,
+	// swap count, serving version.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func runServeBench(cfg serveBenchConfig) error {
@@ -90,7 +103,7 @@ func runServeBench(cfg serveBenchConfig) error {
 		return v, b, err
 	}
 
-	srv := serve.New(serve.Options{})
+	srv := serve.New(serve.Options{Metrics: obs.New()})
 	defer srv.Close()
 	v1, b1, err := publish(cfg.epochs)
 	if err != nil {
@@ -148,6 +161,18 @@ func runServeBench(cfg serveBenchConfig) error {
 	fmt.Printf("serve bench: v%d  p50 %.3fms  p99 %.3fms  %.0f qps  (swap %.3fms)\n",
 		v2, hotswap.P50ms, hotswap.P99ms, hotswap.QPS, float64(swapLat)/float64(time.Millisecond))
 
+	// Final scrape: the replica's own runtime metrics ride along in the
+	// report, so a regression shows up with its serving-side context
+	// (batch sizes, queue behavior, swap count) attached.
+	metrics, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	if metrics["lumos_serve_swaps_total"] < 2 {
+		return fmt.Errorf("serve bench: /metrics reports %v swaps, want >= 2",
+			metrics["lumos_serve_swaps_total"])
+	}
+
 	rep := serveBenchReport{
 		Dataset:    g.Name,
 		Nodes:      g.N,
@@ -155,7 +180,12 @@ func runServeBench(cfg serveBenchConfig) error {
 		HotSwap:    hotswap,
 		SwapLatMs:  float64(swapLat) / float64(time.Millisecond),
 		Versions:   []uint64{v1, v2},
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Args:       os.Args[1:],
 		GeneratedS: time.Now().Unix(),
+		Metrics:    metrics,
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -166,4 +196,21 @@ func runServeBench(cfg serveBenchConfig) error {
 	}
 	fmt.Printf("serve bench: wrote %s\n", cfg.out)
 	return nil
+}
+
+// scrapeMetrics fetches and parses the replica's Prometheus /metrics.
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("serve bench: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve bench: scraping /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve bench: reading /metrics: %w", err)
+	}
+	return obs.ParsePrometheus(string(body))
 }

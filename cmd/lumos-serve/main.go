@@ -11,19 +11,28 @@
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/info
+//	curl localhost:8080/metrics
 //	curl -d '{"nodes":[4,7]}' localhost:8080/v1/classify
 //	curl -d '{"pairs":[[0,1],[2,3]]}' localhost:8080/v1/score
+//
+// Observability: GET /metrics serves Prometheus-text runtime metrics
+// (query latency and batch-size histograms, queue depth, swap count,
+// serving snapshot version/age). -log emits one structured JSON line per
+// request on stderr; -pprof mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
+	"lumos/internal/obs"
 	"lumos/internal/serve"
 	"lumos/internal/snapshot"
 )
@@ -36,15 +45,25 @@ func main() {
 		interval  = flag.Duration("watch-interval", 500*time.Millisecond, "snapshot poll interval with -watch")
 		batch     = flag.Int("batch", 64, "max queries answered per bundle load")
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "how long a non-full batch waits for more queries")
+		accessLog = flag.Bool("log", false, "emit one structured JSON line per request on stderr")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "lumos-serve: ", log.LstdFlags)
-	srv := serve.New(serve.Options{
+	opt := serve.Options{
 		MaxBatch:  *batch,
 		BatchWait: *batchWait,
 		Logf:      logger.Printf,
-	})
+		Metrics:   obs.New(),
+	}
+	if *accessLog {
+		// One JSON object per request, on stderr so the stdout port banner
+		// stays machine-parseable.
+		enc := json.NewEncoder(os.Stderr)
+		opt.AccessLog = func(rec serve.AccessRecord) { enc.Encode(rec) }
+	}
+	srv := serve.New(opt)
 	defer srv.Close()
 
 	// Load the initial snapshot up front so a bad path fails loudly at
@@ -67,6 +86,20 @@ func main() {
 		defer stop()
 	}
 
+	handler := srv.Handler()
+	if *withPprof {
+		// Mount pprof on an outer mux so the serving API stays the inner
+		// handler's concern (and keeps its access logging).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("%v", err)
@@ -74,7 +107,7 @@ func main() {
 	// The resolved address goes to stdout so scripts serving on an
 	// ephemeral port (-addr 127.0.0.1:0) can find it.
 	fmt.Printf("serving %s on http://%s\n", *snapPath, ln.Addr())
-	if err := (&http.Server{Handler: srv.Handler()}).Serve(ln); err != nil {
+	if err := (&http.Server{Handler: handler}).Serve(ln); err != nil {
 		fatalf("%v", err)
 	}
 }

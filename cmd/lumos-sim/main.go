@@ -21,6 +21,7 @@
 //	lumos-sim -fleet periodic -participation 0.5 -sched async -staleness 2
 //	lumos-sim -fleet trace:fleet.csv -agg-capacity 2e6 -rounds 20
 //	lumos-sim -sched both -rounds 20 -csv
+//	lumos-sim -rounds 20 -trace out.trace.json   # open in Perfetto (ui.perfetto.dev)
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"lumos/internal/core"
@@ -36,6 +38,7 @@ import (
 	"lumos/internal/fleet"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/obs"
 	"lumos/internal/sim"
 )
 
@@ -64,6 +67,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
 		seed      = flag.Int64("seed", 7, "run seed (training and scenario)")
 		csv       = flag.Bool("csv", false, "also print the per-round timeline as CSV")
+		traceOut  = flag.String("trace", "", "write the simulated timeline as Chrome trace-event JSON, viewable in Perfetto (with -sched both the mode is inserted before the extension)")
+		metricsOn = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format after the timeline")
 	)
 	flag.Parse()
 
@@ -143,6 +148,20 @@ func main() {
 	}
 	var sums []summary
 	for _, mode := range scheds {
+		// Telemetry is per discipline run: a fresh virtual-clock tracer and
+		// metrics registry each time, so -sched both writes one trace file
+		// and one metrics dump per mode instead of mixing their streams. The
+		// registry is shared with the training session (Config.Metrics); the
+		// wall-clock Config.Tracer stays nil — the simulator runs on virtual
+		// time and the two clocks must not land in one trace.
+		var tr *obs.Tracer
+		var reg *obs.Registry
+		if *traceOut != "" {
+			tr = obs.NewVirtualTracer()
+		}
+		if *metricsOn {
+			reg = obs.New()
+		}
 		cfg := core.Config{
 			Task: taskKind, Backbone: bb,
 			Epsilon: *eps, MCMCIterations: *mcmc,
@@ -150,19 +169,31 @@ func main() {
 			Shards:  g.N, // one device per shard: exact per-device participation
 			Sched:   mode,
 			Seed:    *seed,
+			Metrics: reg,
 		}
 		if mode == core.SchedAsync {
 			cfg.Staleness = *stale
 		}
 		sys, err := core.NewSystem(trainGraph, g, cfg)
 		check(err)
-		s, err := sim.New(sys, scenario)
+		sc := scenario
+		sc.Tracer, sc.Metrics = tr, reg
+		s, err := sim.New(sys, sc)
 		check(err)
 		res, err := s.Run(newObjective())
 		check(err)
 		sums = append(sums, summary{mode.String(), res})
 
 		printTimeline(mode.String(), res, *csv)
+		if tr != nil {
+			out := traceName(*traceOut, mode.String(), len(scheds) > 1)
+			check(tr.WriteFile(out))
+			fmt.Printf("trace: wrote %d events to %s\n", tr.Len(), out)
+		}
+		if reg != nil {
+			fmt.Printf("metrics (%s scheduling):\n", mode)
+			check(reg.WritePrometheus(os.Stdout))
+		}
 	}
 	for _, s := range sums {
 		fmt.Printf("%-5s: wall-clock %8.3fs  bytes %12d  avg participants %5.1f  final %s %.4f  stale %d  dropped %d\n",
@@ -207,6 +238,16 @@ func printTimeline(sched string, res *sim.Result, csv bool) {
 	if csv {
 		check(t.RenderCSV(os.Stdout))
 	}
+}
+
+// traceName inserts the scheduling mode before the extension when more
+// than one discipline runs ("out.trace.json" -> "out.trace.sync.json").
+func traceName(path, sched string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + sched + ext
 }
 
 func check(err error) {

@@ -7,6 +7,7 @@
 //	lumos-train -dataset lastfm -task unsupervised -eps 4
 //	lumos-train -dataset facebook -save model.bin
 //	lumos-train -dataset facebook -publish model.snap   # serve with lumos-serve
+//	lumos-train -epochs 20 -trace train.trace.json -metrics
 package main
 
 import (
@@ -20,28 +21,31 @@ import (
 	"lumos/internal/core"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/obs"
 	"lumos/internal/snapshot"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
-		scale    = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
-		task     = flag.String("task", "supervised", "supervised|unsupervised")
-		backbone = flag.String("backbone", "gcn", "gcn|gat")
-		epochs   = flag.Int("epochs", 60, "training epochs")
-		eps      = flag.Float64("eps", 2, "privacy budget epsilon")
-		mcmc     = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
-		secure   = flag.Bool("secure", false, "run real OT-based secure comparisons")
-		noVN     = flag.Bool("no-virtual-nodes", false, "ablation: disable virtual nodes")
-		noTT     = flag.Bool("no-tree-trimming", false, "ablation: disable tree trimming")
-		seed     = flag.Int64("seed", 7, "run seed")
-		save     = flag.String("save", "", "write trained model parameters to this file")
-		publish  = flag.String("publish", "", "publish a versioned serving snapshot to this file (atomic; version auto-increments)")
-		workers  = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
-		sched    = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
-		stale    = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
-		noTape   = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
+		dataset   = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
+		scale     = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
+		task      = flag.String("task", "supervised", "supervised|unsupervised")
+		backbone  = flag.String("backbone", "gcn", "gcn|gat")
+		epochs    = flag.Int("epochs", 60, "training epochs")
+		eps       = flag.Float64("eps", 2, "privacy budget epsilon")
+		mcmc      = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
+		secure    = flag.Bool("secure", false, "run real OT-based secure comparisons")
+		noVN      = flag.Bool("no-virtual-nodes", false, "ablation: disable virtual nodes")
+		noTT      = flag.Bool("no-tree-trimming", false, "ablation: disable tree trimming")
+		seed      = flag.Int64("seed", 7, "run seed")
+		save      = flag.String("save", "", "write trained model parameters to this file")
+		publish   = flag.String("publish", "", "publish a versioned serving snapshot to this file (atomic; version auto-increments)")
+		workers   = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
+		sched     = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
+		stale     = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
+		noTape    = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
+		tracePth  = flag.String("trace", "", "write per-epoch spans and publish events as Chrome trace-event JSON (viewable in Perfetto)")
+		metricsOn = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format at the end")
 	)
 	flag.Parse()
 
@@ -60,11 +64,26 @@ func main() {
 	fmt.Printf("dataset %s: N=%d M=%d avgdeg=%.1f maxdeg=%d classes=%d features=%d\n",
 		g.Name, st.N, st.M, st.AvgDeg, st.MaxDeg, st.Classes, st.FeatureDim)
 
+	// Telemetry is opt-in: the default (no -trace, no -metrics) leaves both
+	// nil and training bit-identical to an uninstrumented run.
+	var tr *obs.Tracer
+	var reg *obs.Registry
+	if *tracePth != "" {
+		tr = obs.NewTracer()
+	}
+	if *metricsOn {
+		reg = obs.New()
+	}
+	if tr != nil || reg != nil {
+		hookPublishTelemetry(tr, reg)
+	}
+
 	cfg := core.Config{
 		Task:    taskKind,
 		Epsilon: *eps, Epochs: *epochs, MCMCIterations: *mcmc,
 		SecureCompare: *secure, DisableVirtualNodes: *noVN, DisableTreeTrimming: *noTT,
 		Workers: *workers, Sched: schedMode, Staleness: *stale, NoTapeReuse: *noTape,
+		Metrics: reg, Tracer: tr,
 		Seed: *seed,
 	}
 	switch strings.ToLower(*backbone) {
@@ -113,6 +132,34 @@ func main() {
 		fatalf("unknown task %q", *task)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if tr != nil {
+		check(tr.WriteFile(*tracePth))
+		fmt.Printf("trace: wrote %d events to %s\n", tr.Len(), *tracePth)
+	}
+	if reg != nil {
+		fmt.Println("metrics:")
+		check(reg.WritePrometheus(os.Stdout))
+	}
+}
+
+// hookPublishTelemetry routes snapshot publishes into the run's metrics
+// and trace: a publish counter/size/duration, and a timeline instant.
+func hookPublishTelemetry(tr *obs.Tracer, reg *obs.Registry) {
+	pubs := reg.Counter("lumos_publish_total",
+		"Versioned snapshots published")
+	pubBytes := reg.Counter("lumos_publish_bytes_total",
+		"Bytes of published snapshots")
+	pubTime := reg.Histogram("lumos_publish_seconds",
+		"Wall-clock time of one atomic snapshot publish", obs.LatencyBuckets)
+	snapshot.PublishObserver = func(path string, version uint64, bytes int64, elapsed time.Duration) {
+		pubs.Inc()
+		pubBytes.Add(bytes)
+		pubTime.Observe(elapsed.Seconds())
+		if tr != nil {
+			tr.Instant(0, "publish", "snapshot-publish", tr.Now(),
+				map[string]any{"version": version, "bytes": bytes, "path": path})
+		}
+	}
 }
 
 func printStats(stats *core.TrainStats, epochs int) {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"lumos/internal/nn"
+	"lumos/internal/obs"
 )
 
 // Sched selects how device updates are scheduled within a training round.
@@ -173,6 +174,17 @@ type Config struct {
 	// this is a debugging escape hatch for suspected buffer-reuse issues,
 	// exposed as -notapereuse on the CLIs.
 	NoTapeReuse bool
+
+	// Metrics, when non-nil, receives runtime counters/gauges/histograms
+	// from the training session (steps, losses, step durations, gradient
+	// queue depth, model-selection events). Nil — the default — disables
+	// telemetry entirely: the session takes the exact same code paths and
+	// allocates nothing extra, so golden loss traces stay bit-identical.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records per-step spans and model-selection
+	// instants on a wall-clock timeline. Leave nil inside the simulator,
+	// which runs on virtual time and owns its own tracer.
+	Tracer *obs.Tracer
 
 	Seed int64
 }

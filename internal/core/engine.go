@@ -493,6 +493,10 @@ func (e *engine) applyDue(epoch int) (stale int) {
 	return stale
 }
 
+// queueDepth reports how many shard gradients sit in the staleness queue
+// awaiting application (always 0 under sync scheduling).
+func (e *engine) queueDepth() int { return len(e.queue) }
+
 // drain applies all still-pending stale gradients in one final synchronous
 // step, mirroring the terminal barrier of a real bounded-staleness
 // deployment. No-op under sync scheduling (the queue is always empty).

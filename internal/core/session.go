@@ -36,8 +36,14 @@ type Session struct {
 	bestVal  float64
 	bestSnap []*tensor.Matrix
 	steps    int
+	rounds   int
 	start    time.Time
 	sealed   bool
+
+	// tel is the session's telemetry surface, built from Config.Metrics and
+	// Config.Tracer; the zero value (both nil, the default) is fully
+	// disabled and free.
+	tel sessionTelemetry
 }
 
 // NewSession binds an objective to the system and returns a session ready
@@ -52,7 +58,10 @@ func (s *System) NewSession(obj Objective) (*Session, error) {
 	if err := obj.bind(s); err != nil {
 		return nil, err
 	}
-	return &Session{sys: s, obj: obj, lossFn: obj.loss, bestVal: -1, start: time.Now()}, nil
+	return &Session{
+		sys: s, obj: obj, lossFn: obj.loss, bestVal: -1, start: time.Now(),
+		tel: newSessionTelemetry(&s.Cfg),
+	}, nil
 }
 
 // Objective returns the objective the session trains.
@@ -66,6 +75,7 @@ func (se *Session) Objective() Objective { return se.obj }
 // loss.
 func (se *Session) Step() (float64, error) {
 	s := se.sys
+	t0 := se.tel.begin()
 	before := s.Net.Snapshot()
 	if !se.obj.begin(nil) {
 		return 0, fmt.Errorf("core: %v objective has no training signal (empty retained sets or training split)", se.obj.Task())
@@ -82,8 +92,10 @@ func (se *Session) Step() (float64, error) {
 		if m, ok, err := se.obj.valMetric(); ok && err == nil && m > se.bestVal {
 			se.bestVal = m
 			se.bestSnap = nn.Snapshot(s)
+			se.tel.selected(m)
 		}
 	}
+	se.tel.finishStep(se, t0, epoch, loss)
 	return loss, nil
 }
 
@@ -123,6 +135,7 @@ type RoundPlan struct {
 // default), and a shard's delay is the largest among its present devices.
 func (se *Session) StepRound(plan RoundPlan) (RoundOutcome, error) {
 	s := se.sys
+	t0 := se.tel.begin()
 	if plan.Active != nil && len(plan.Active) != s.G.N {
 		return RoundOutcome{}, fmt.Errorf("core: %d participation flags for %d devices", len(plan.Active), s.G.N)
 	}
@@ -132,11 +145,14 @@ func (se *Session) StepRound(plan RoundPlan) (RoundOutcome, error) {
 	if plan.TTL < 0 {
 		return RoundOutcome{}, fmt.Errorf("core: negative partial TTL %d", plan.TTL)
 	}
+	round := se.rounds
+	se.rounds++
 	if !se.obj.begin(plan.Active) {
 		out := RoundOutcome{Skipped: true, StaleApplied: s.eng.skipRound()}
 		if err := se.selectRound(plan, &out); err != nil {
 			return RoundOutcome{}, err
 		}
+		se.tel.finishRound(se, t0, round, out)
 		return out, nil
 	}
 	se.obj.account(plan.Active)
@@ -151,6 +167,7 @@ func (se *Session) StepRound(plan RoundPlan) (RoundOutcome, error) {
 	if err := se.selectRound(plan, &out); err != nil {
 		return RoundOutcome{}, err
 	}
+	se.tel.finishRound(se, t0, round, out)
 	return out, nil
 }
 
@@ -171,6 +188,7 @@ func (se *Session) selectRound(plan RoundPlan, out *RoundOutcome) error {
 	if m > se.bestVal {
 		se.bestVal = m
 		se.bestSnap = nn.Snapshot(se.sys)
+		se.tel.selected(m)
 	}
 	return nil
 }
@@ -182,10 +200,12 @@ func (se *Session) selectRound(plan RoundPlan, out *RoundOutcome) error {
 // once after the last Step or StepRound.
 func (se *Session) FinishRounds() {
 	se.sys.eng.drain()
-	if se.bestSnap != nil {
+	restored := se.bestSnap != nil
+	if restored {
 		nn.Restore(se.sys, se.bestSnap)
 		se.bestSnap = nil
 	}
+	se.tel.drained(restored)
 }
 
 // Stats returns the session's accumulated training record. The first call

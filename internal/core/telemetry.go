@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"lumos/internal/obs"
+)
+
+// sessionTelemetry binds a session's instruments. The zero value (enabled
+// == false, every pointer nil) is the default and makes every record call
+// a no-op without branching at call sites — instrument methods are
+// nil-safe — so the telemetry-free training path stays bit- and
+// allocation-identical to uninstrumented code. Timing reads (time.Now)
+// are the one thing guarded by the enabled flag, since they are not free.
+type sessionTelemetry struct {
+	enabled bool
+	tracer  *obs.Tracer
+
+	steps      *obs.Counter
+	rounds     *obs.Counter
+	skipped    *obs.Counter
+	stale      *obs.Counter
+	selections *obs.Counter
+	loss       *obs.Gauge
+	queueDepth *obs.Gauge
+	valBest    *obs.Gauge
+	stepTime   *obs.Histogram
+}
+
+// sessionTrack is the tracer track id for session-level spans; device and
+// server tracks in the simulator use their own ids.
+const sessionTrack = 0
+
+// newSessionTelemetry builds the instrument set from Config.Metrics and
+// Config.Tracer. Both nil (the default) yields the zero (disabled) value.
+func newSessionTelemetry(cfg *Config) sessionTelemetry {
+	r, tr := cfg.Metrics, cfg.Tracer
+	if r == nil && tr == nil {
+		return sessionTelemetry{}
+	}
+	tr.SetTrackName(sessionTrack, "session")
+	return sessionTelemetry{
+		enabled: true,
+		tracer:  tr,
+		steps: r.Counter("lumos_train_steps_total",
+			"Full-participation epoch steps executed"),
+		rounds: r.Counter("lumos_train_rounds_total",
+			"Partial-participation rounds executed"),
+		skipped: r.Counter("lumos_train_rounds_skipped_total",
+			"Rounds skipped for lack of training signal"),
+		stale: r.Counter("lumos_train_stale_applied_total",
+			"Queued stale shard gradients applied"),
+		selections: r.Counter("lumos_train_model_selections_total",
+			"Times validation improved and the best snapshot was replaced"),
+		loss: r.Gauge("lumos_train_loss",
+			"Loss of the most recent epoch or round"),
+		queueDepth: r.Gauge("lumos_train_grad_queue_depth",
+			"Shard gradients waiting in the staleness queue"),
+		valBest: r.Gauge("lumos_train_val_best",
+			"Best validation metric seen by model selection"),
+		stepTime: r.Histogram("lumos_train_step_seconds",
+			"Wall-clock duration of one epoch or round step", obs.DurationBuckets),
+	}
+}
+
+// begin marks the start of a step/round; the returned value feeds finish.
+func (t *sessionTelemetry) begin() time.Time {
+	if !t.enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// finishStep records one full-participation epoch.
+func (t *sessionTelemetry) finishStep(se *Session, start time.Time, epoch int, loss float64) {
+	if !t.enabled {
+		return
+	}
+	t.steps.Inc()
+	t.loss.Set(loss)
+	t.queueDepth.Set(float64(se.sys.eng.queueDepth()))
+	elapsed := time.Since(start).Seconds()
+	t.stepTime.Observe(elapsed)
+	if t.tracer != nil {
+		end := t.tracer.Now()
+		t.tracer.Span(sessionTrack, "train", "epoch", end-elapsed, end,
+			map[string]any{"epoch": epoch, "loss": loss})
+	}
+}
+
+// finishRound records one partial-participation round.
+func (t *sessionTelemetry) finishRound(se *Session, start time.Time, round int, out RoundOutcome) {
+	if !t.enabled {
+		return
+	}
+	t.rounds.Inc()
+	if out.Skipped {
+		t.skipped.Inc()
+	} else {
+		t.loss.Set(out.Loss)
+	}
+	t.stale.Add(int64(out.StaleApplied))
+	t.queueDepth.Set(float64(se.sys.eng.queueDepth()))
+	elapsed := time.Since(start).Seconds()
+	t.stepTime.Observe(elapsed)
+	if t.tracer != nil {
+		end := t.tracer.Now()
+		t.tracer.Span(sessionTrack, "train", "round", end-elapsed, end,
+			map[string]any{"round": round, "loss": out.Loss, "skipped": out.Skipped})
+	}
+}
+
+// selected records a model-selection improvement (best snapshot replaced).
+func (t *sessionTelemetry) selected(metric float64) {
+	if !t.enabled {
+		return
+	}
+	t.selections.Inc()
+	t.valBest.Set(metric)
+	t.tracer.Instant(sessionTrack, "train", "model-selected", t.tracer.Now(),
+		map[string]any{"val": metric})
+}
+
+// drained records the terminal stale-gradient barrier / snapshot restore.
+func (t *sessionTelemetry) drained(restored bool) {
+	if !t.enabled {
+		return
+	}
+	t.tracer.Instant(sessionTrack, "train", "finish-rounds", t.tracer.Now(),
+		map[string]any{"restored_best": restored})
+}

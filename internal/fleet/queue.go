@@ -1,5 +1,7 @@
 package fleet
 
+import "lumos/internal/obs"
+
 // Server is a deterministic M/G/1-style FIFO server modeling contention on
 // the aggregator's shared link: jobs (device uploads, model broadcasts)
 // arrive at known times, are served one at a time in arrival order at a
@@ -14,6 +16,13 @@ package fleet
 type Server struct {
 	// BytesPerSecond is the shared service rate; <= 0 disables contention.
 	BytesPerSecond float64
+
+	// Wait, when non-nil, observes each job's queueing delay (seconds from
+	// arrival to service start, simulated time), and Served counts jobs.
+	// Both are nil-safe obs instruments, so leaving them unset costs
+	// nothing and changes nothing.
+	Wait   *obs.Histogram
+	Served *obs.Counter
 
 	freeAt float64
 }
@@ -34,6 +43,8 @@ func (s *Server) Serve(at float64, bytes int64) float64 {
 	if s.freeAt > start {
 		start = s.freeAt
 	}
+	s.Served.Inc()
+	s.Wait.Observe(start - at)
 	done := start + float64(bytes)/s.BytesPerSecond
 	s.freeAt = done
 	return done

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTracerNilIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Span(1, "cat", "name", 0, 1, nil)
+	tr.Instant(1, "cat", "name", 0, nil)
+	tr.SetTrackName(1, "track")
+	if tr.Now() != 0 || tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must read empty")
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer Chrome output not JSON: %v", err)
+	}
+}
+
+// TestWriteChromeStructure validates the trace-event JSON shape Perfetto
+// expects: a traceEvents array whose entries carry name/ph/ts/pid/tid,
+// with "X" spans carrying dur and "M" metadata naming tracks.
+func TestWriteChromeStructure(t *testing.T) {
+	tr := NewVirtualTracer()
+	tr.SetTrackName(3, "device 3")
+	tr.Span(3, "device", "compute", 1.5, 2.25, map[string]any{"round": 7})
+	tr.Instant(0, "round", "commit", 2.5, nil)
+
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome output not JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	meta, span, inst := doc.TraceEvents[0], doc.TraceEvents[1], doc.TraceEvents[2]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "device 3" {
+		t.Fatalf("metadata event wrong: %+v", meta)
+	}
+	if span.Ph != "X" || span.Name != "compute" || span.TID != 3 {
+		t.Fatalf("span event wrong: %+v", span)
+	}
+	if span.TS != 1.5e6 || span.Dur != 0.75e6 {
+		t.Fatalf("span timing = ts %g dur %g, want µs 1.5e6 / 0.75e6", span.TS, span.Dur)
+	}
+	if span.Args["round"] != float64(7) {
+		t.Fatalf("span args wrong: %+v", span.Args)
+	}
+	if inst.Ph != "i" || inst.TS != 2.5e6 {
+		t.Fatalf("instant event wrong: %+v", inst)
+	}
+}
+
+func TestSpanClampNegativeDuration(t *testing.T) {
+	tr := NewVirtualTracer()
+	tr.Span(0, "c", "n", 5, 4, nil) // end < start clamps to zero-length
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Dur != 0 || ev[0].TS != 5e6 {
+		t.Fatalf("clamped span wrong: %+v", ev)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewVirtualTracer()
+	tr.Span(1, "a", "x", 0, 1, nil)
+	tr.Instant(2, "b", "y", 3, map[string]any{"k": "v"})
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for i, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v: %q", i, err, ln)
+		}
+	}
+}
+
+func TestWriteFilePicksFormatByExtension(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewVirtualTracer()
+	tr.Span(0, "c", "n", 0, 1, nil)
+
+	chrome := filepath.Join(dir, "out.trace.json")
+	if err := tr.WriteFile(chrome); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cb), `{"traceEvents":[`) {
+		t.Fatalf(".json file is not Chrome format: %q", cb)
+	}
+
+	jsonl := filepath.Join(dir, "out.jsonl")
+	if err := tr.WriteFile(jsonl); err != nil {
+		t.Fatal(err)
+	}
+	jb, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(jb), "traceEvents") {
+		t.Fatalf(".jsonl file is not JSONL: %q", jb)
+	}
+}
+
+func TestTracerDeterministicBytes(t *testing.T) {
+	build := func() []byte {
+		tr := NewVirtualTracer()
+		tr.SetTrackName(0, "server")
+		for i := 0; i < 5; i++ {
+			tr.Span(i, "device", "compute", float64(i), float64(i)+0.5,
+				map[string]any{"round": i, "device": i})
+		}
+		var b bytes.Buffer
+		if err := tr.WriteChrome(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical event sequences must serialize to identical bytes")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // The HTTP surface of a serving replica:
@@ -53,14 +54,61 @@ type errorResponse struct {
 // maxBodyBytes bounds request bodies; queries are small.
 const maxBodyBytes = 1 << 20
 
-// Handler returns the HTTP API for this server.
+// Handler returns the HTTP API for this server. When Options.Metrics is
+// set, GET /metrics serves the registry in Prometheus text format; when
+// Options.AccessLog is set, every request is reported to it after being
+// handled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("POST /v1/score", s.handleScore)
-	return mux
+	if s.opt.Metrics != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.opt.AccessLog == nil {
+		return mux
+	}
+	return s.accessLogged(mux)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.opt.Metrics.WritePrometheus(w)
+}
+
+// statusWriter captures the response status for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.status = status
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+// accessLogged wraps h so every request emits one AccessRecord.
+func (s *Server) accessLogged(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		lat := time.Since(start)
+		var version uint64
+		if b := s.Current(); b != nil {
+			version = b.Version
+		}
+		s.opt.AccessLog(AccessRecord{
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    sw.status,
+			Latency:   lat,
+			LatencyMS: float64(lat.Nanoseconds()) / 1e6,
+			Version:   version,
+		})
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

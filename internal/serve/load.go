@@ -34,6 +34,15 @@ type LoadConfig struct {
 	Seed int64
 }
 
+// LoadPhase is the latency profile of a slice of a load run.
+type LoadPhase struct {
+	Queries int     `json:"queries"`
+	P50ms   float64 `json:"p50_ms"`
+	P90ms   float64 `json:"p90_ms"`
+	P99ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
 // LoadReport summarizes one load run.
 type LoadReport struct {
 	Queries     int     `json:"queries"`
@@ -41,10 +50,19 @@ type LoadReport struct {
 	Elapsed     float64 `json:"elapsed_sec"`
 	QPS         float64 `json:"qps"`
 	P50ms       float64 `json:"p50_ms"`
+	P90ms       float64 `json:"p90_ms"`
 	P99ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
 	MinVersion  uint64  `json:"min_version"`
 	MaxVersion  uint64  `json:"max_version"`
 	Regressions int     `json:"version_regressions"`
+	// PreSwap and PostSwap split the successful queries by the snapshot
+	// version that answered them: PreSwap is the oldest version observed
+	// during the run, PostSwap is everything newer — so when a hot swap
+	// lands mid-run, its latency impact is visible side by side. PostSwap
+	// is nil when every answer came from one version (no swap observed).
+	PreSwap  *LoadPhase `json:"pre_swap,omitempty"`
+	PostSwap *LoadPhase `json:"post_swap,omitempty"`
 }
 
 // RunLoad replays cfg.Queries zipf-distributed queries against a replica
@@ -63,8 +81,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		cfg.ZipfS = 1.3
 	}
 
+	type sample struct {
+		lat     time.Duration
+		version uint64 // 0 on error
+	}
 	type workerStats struct {
-		latencies   []time.Duration
+		samples     []sample
 		errors      int
 		minV, maxV  uint64
 		regressions int
@@ -87,7 +109,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			st := &stats[w]
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Nodes-1))
-			st.latencies = make([]time.Duration, 0, n)
+			st.samples = make([]sample, 0, n)
 			var lastV uint64
 			for i := 0; i < n; i++ {
 				var version uint64
@@ -98,11 +120,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				} else {
 					version, err = queryScore(client, cfg.BaseURL, [][2]int{{int(zipf.Uint64()), int(zipf.Uint64())}})
 				}
-				st.latencies = append(st.latencies, time.Since(t0))
+				lat := time.Since(t0)
 				if err != nil {
+					st.samples = append(st.samples, sample{lat: lat})
 					st.errors++
 					continue
 				}
+				st.samples = append(st.samples, sample{lat: lat, version: version})
 				if version < lastV {
 					st.regressions++
 				}
@@ -120,10 +144,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	elapsed := time.Since(start)
 
 	rep := &LoadReport{Queries: cfg.Queries, Elapsed: elapsed.Seconds()}
-	var all []time.Duration
+	var all, pre, post []time.Duration
 	for i := range stats {
 		st := &stats[i]
-		all = append(all, st.latencies...)
 		rep.Errors += st.errors
 		rep.Regressions += st.regressions
 		if st.minV > 0 && (rep.MinVersion == 0 || st.minV < rep.MinVersion) {
@@ -133,13 +156,50 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			rep.MaxVersion = st.maxV
 		}
 	}
+	for i := range stats {
+		for _, sm := range stats[i].samples {
+			all = append(all, sm.lat)
+			switch {
+			case sm.version == 0: // errored; counts toward totals only
+			case sm.version == rep.MinVersion:
+				pre = append(pre, sm.lat)
+			default:
+				post = append(post, sm.lat)
+			}
+		}
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep.P50ms = percentileMs(all, 0.50)
+	rep.P90ms = percentileMs(all, 0.90)
 	rep.P99ms = percentileMs(all, 0.99)
+	if len(all) > 0 {
+		rep.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	rep.PreSwap = loadPhase(pre)
+	// Pre-swap vs post-swap is only meaningful when a swap was observed;
+	// with a single serving version the whole run IS the pre-swap phase.
+	if rep.MaxVersion > rep.MinVersion {
+		rep.PostSwap = loadPhase(post)
+	}
 	if elapsed > 0 {
 		rep.QPS = float64(cfg.Queries) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// loadPhase builds a phase summary from unsorted latencies (nil if empty).
+func loadPhase(lats []time.Duration) *LoadPhase {
+	if len(lats) == 0 {
+		return nil
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return &LoadPhase{
+		Queries: len(lats),
+		P50ms:   percentileMs(lats, 0.50),
+		P90ms:   percentileMs(lats, 0.90),
+		P99ms:   percentileMs(lats, 0.99),
+		MaxMs:   float64(lats[len(lats)-1]) / float64(time.Millisecond),
+	}
 }
 
 func percentileMs(sorted []time.Duration, p float64) float64 {

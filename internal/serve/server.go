@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lumos/internal/obs"
 	"lumos/internal/snapshot"
 )
 
@@ -20,6 +21,29 @@ type Options struct {
 	BatchWait time.Duration
 	// Logf, when set, receives watcher and swap diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, registers the replica's instruments (query
+	// latency and batch-size histograms, queue depth, swap counter,
+	// serving snapshot version/age) and enables GET /metrics on Handler.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records batch drains and hot swaps as
+	// wall-clock trace events.
+	Tracer *obs.Tracer
+	// AccessLog, when set, receives one record per HTTP request handled
+	// by Handler. Nil (the default) logs nothing.
+	AccessLog func(AccessRecord)
+}
+
+// AccessRecord describes one handled HTTP request for access logging.
+type AccessRecord struct {
+	Method  string        `json:"method"`
+	Path    string        `json:"path"`
+	Status  int           `json:"status"`
+	Latency time.Duration `json:"-"`
+	// LatencyMS mirrors Latency for structured (JSON) log lines.
+	LatencyMS float64 `json:"latency_ms"`
+	// Version is the snapshot version being served when the request
+	// finished (0 = none loaded).
+	Version uint64 `json:"version"`
 }
 
 // Server answers queries against the currently-published bundle. Queries
@@ -32,6 +56,7 @@ type Server struct {
 	reqs chan *request
 	quit chan struct{}
 	wg   sync.WaitGroup
+	tel  serveTelemetry
 }
 
 type reqKind int
@@ -71,6 +96,7 @@ func New(opt Options) *Server {
 		reqs: make(chan *request, 4*opt.MaxBatch),
 		quit: make(chan struct{}),
 	}
+	s.initTelemetry()
 	s.wg.Add(1)
 	go s.worker()
 	return s
@@ -99,6 +125,7 @@ func (s *Server) Swap(b *Bundle) bool {
 		}
 		if s.cur.CompareAndSwap(cur, b) {
 			s.opt.Logf("serve: now serving snapshot v%d (%d vertices, %d classes)", b.Version, b.N, b.Classes)
+			s.tel.swapped(b.Version)
 			return true
 		}
 	}
@@ -106,13 +133,17 @@ func (s *Server) Swap(b *Bundle) bool {
 
 // Classify answers a node-classification query through the batching path.
 func (s *Server) Classify(nodes []int) (uint64, []int, error) {
+	t0 := s.tel.begin()
 	res := s.submit(&request{kind: kindClassify, nodes: nodes, done: make(chan result, 1)})
+	s.tel.query(kindClassify, t0, res.err)
 	return res.version, res.classes, res.err
 }
 
 // Score answers a link-scoring query through the batching path.
 func (s *Server) Score(pairs [][2]int) (uint64, []float64, error) {
+	t0 := s.tel.begin()
 	res := s.submit(&request{kind: kindScore, pairs: pairs, done: make(chan result, 1)})
+	s.tel.query(kindScore, t0, res.err)
 	return res.version, res.scores, res.err
 }
 
@@ -152,10 +183,16 @@ func (s *Server) worker() {
 				}
 			}
 			timer.Stop()
+			t0 := s.tel.begin()
 			b := s.cur.Load()
 			for _, r := range batch {
 				r.done <- answer(b, r)
 			}
+			var version uint64
+			if b != nil {
+				version = b.Version
+			}
+			s.tel.batch(len(batch), version, t0)
 		}
 	}
 }

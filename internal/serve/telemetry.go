@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"time"
+
+	"lumos/internal/obs"
+)
+
+// serveTelemetry binds the replica's instruments. The zero value (enabled
+// == false) is fully disabled: instrument methods are nil-safe, and the
+// enabled flag only gates the time.Now reads bracketing each query.
+type serveTelemetry struct {
+	enabled bool
+	tracer  *obs.Tracer
+
+	classifyLat   *obs.Histogram
+	scoreLat      *obs.Histogram
+	classifyTotal *obs.Counter
+	scoreTotal    *obs.Counter
+	queryErrors   *obs.Counter
+	batchSize     *obs.Histogram
+	swaps         *obs.Counter
+}
+
+// serveTrack is the tracer track for the batching worker and swap events.
+const serveTrack = 0
+
+// initTelemetry registers the server's instruments on opt.Metrics and
+// hooks the live gauges (queue depth, serving version, snapshot age) that
+// are sampled at scrape time. Safe to call with Metrics and Tracer nil.
+func (s *Server) initTelemetry() {
+	r, tr := s.opt.Metrics, s.opt.Tracer
+	if r == nil && tr == nil {
+		return
+	}
+	tr.SetTrackName(serveTrack, "serve worker")
+	s.tel = serveTelemetry{
+		enabled: true,
+		tracer:  tr,
+		classifyLat: r.Histogram(`lumos_serve_query_seconds{endpoint="classify"}`,
+			"End-to-end query latency through the batching path", obs.LatencyBuckets),
+		scoreLat: r.Histogram(`lumos_serve_query_seconds{endpoint="score"}`,
+			"End-to-end query latency through the batching path", obs.LatencyBuckets),
+		classifyTotal: r.Counter(`lumos_serve_queries_total{endpoint="classify"}`,
+			"Queries answered, by endpoint"),
+		scoreTotal: r.Counter(`lumos_serve_queries_total{endpoint="score"}`,
+			"Queries answered, by endpoint"),
+		queryErrors: r.Counter("lumos_serve_query_errors_total",
+			"Queries answered with an error"),
+		batchSize: r.Histogram("lumos_serve_batch_size",
+			"Queries answered per worker batch", obs.SizeBuckets),
+		swaps: r.Counter("lumos_serve_swaps_total",
+			"Successful bundle hot swaps"),
+	}
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("lumos_serve_queue_depth",
+		"Queries waiting in the batching queue", func() float64 {
+			return float64(len(s.reqs))
+		})
+	r.GaugeFunc("lumos_serve_snapshot_version",
+		"Version of the snapshot being served (0 = none loaded)", func() float64 {
+			if b := s.cur.Load(); b != nil {
+				return float64(b.Version)
+			}
+			return 0
+		})
+	r.GaugeFunc("lumos_serve_snapshot_age_seconds",
+		"Seconds since the served snapshot was created (0 = unknown)", func() float64 {
+			b := s.cur.Load()
+			if b == nil || b.Meta.CreatedUnix == 0 {
+				return 0
+			}
+			return float64(time.Now().Unix() - b.Meta.CreatedUnix)
+		})
+}
+
+// begin stamps a query's start; the zero time means telemetry is off.
+func (t *serveTelemetry) begin() time.Time {
+	if !t.enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// query records one answered query on the endpoint's instruments.
+func (t *serveTelemetry) query(kind reqKind, start time.Time, err error) {
+	if !t.enabled {
+		return
+	}
+	lat := time.Since(start).Seconds()
+	if kind == kindClassify {
+		t.classifyTotal.Inc()
+		t.classifyLat.Observe(lat)
+	} else {
+		t.scoreTotal.Inc()
+		t.scoreLat.Observe(lat)
+	}
+	if err != nil {
+		t.queryErrors.Inc()
+	}
+}
+
+// batch records one worker drain: the batch size and, when tracing, a
+// span covering the answer phase.
+func (t *serveTelemetry) batch(n int, version uint64, start time.Time) {
+	if !t.enabled {
+		return
+	}
+	t.batchSize.Observe(float64(n))
+	if t.tracer != nil {
+		end := t.tracer.Now()
+		t.tracer.Span(serveTrack, "serve", "batch", end-time.Since(start).Seconds(), end,
+			map[string]any{"size": n, "version": version})
+	}
+}
+
+// swapped records a successful hot swap.
+func (t *serveTelemetry) swapped(version uint64) {
+	if !t.enabled {
+		return
+	}
+	t.swaps.Inc()
+	t.tracer.Instant(serveTrack, "serve", "hot-swap", t.tracer.Now(),
+		map[string]any{"version": version})
+}

@@ -52,6 +52,7 @@ import (
 
 	"lumos/internal/fed"
 	"lumos/internal/fleet"
+	"lumos/internal/obs"
 )
 
 // Scenario configures one simulated deployment.
@@ -102,6 +103,17 @@ type Scenario struct {
 	ModelSelection bool
 	// Cost supplies the per-event costs (zero value: fed.DefaultCostModel).
 	Cost fed.CostModel
+	// Tracer, when non-nil, records the simulated timeline as trace events
+	// on the virtual clock — per-device compute/upload spans, aggregator
+	// queueing, round commits, evaluations — for Perfetto inspection. Use
+	// obs.NewVirtualTracer: wall-clock tracers don't mix with simulated
+	// seconds. Run is single-threaded, so for a fixed seed the recorded
+	// event sequence is byte-for-byte reproducible.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives runtime counters/gauges/histograms
+	// (rounds, wire bytes, per-round and cumulative energy, aggregator
+	// queueing delay). Nil — the default — is free.
+	Metrics *obs.Registry
 	// Seed drives every random choice in the scenario (fleet ranks, churn,
 	// sampling). Independent from the system's training seed.
 	Seed int64

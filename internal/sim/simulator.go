@@ -9,6 +9,7 @@ import (
 
 	"lumos/internal/core"
 	"lumos/internal/fleet"
+	"lumos/internal/obs"
 )
 
 // Simulator advances one Scenario over one assembled core.System.
@@ -39,7 +40,24 @@ type Simulator struct {
 	agg fleet.Server
 	// energy accumulates each device's joules across the run.
 	energy []float64
+
+	// tr records the timeline on the virtual clock (Scenario.Tracer); the
+	// m* instruments live in Scenario.Metrics. All are nil when telemetry
+	// is off — the instruments are nil-safe, and tracer calls that build
+	// args maps are guarded on tr to keep the disabled path allocation-free.
+	tr            *obs.Tracer
+	mRounds       *obs.Counter
+	mSkipped      *obs.Counter
+	mBytes        *obs.Counter
+	mEnergy       *obs.Gauge
+	mRoundEnergy  *obs.Gauge
+	mParticipants *obs.Gauge
+	mRoundTime    *obs.Histogram
 }
+
+// roundTrack is the tracer track carrying round spans, commits, and
+// broadcasts; device d's events go on track d+1.
+const roundTrack = 0
 
 // New prepares a simulator over an assembled system of either task. The
 // system's Config.Sched and Config.Staleness select the aggregation
@@ -78,7 +96,56 @@ func New(sys *core.System, sc Scenario) (*Simulator, error) {
 		s.avail[d] = profiles[d].OnlineAt(0)
 		s.lastPart[d] = -1
 	}
+	s.tr = sc.Tracer
+	if r := sc.Metrics; r != nil {
+		s.mRounds = r.Counter("lumos_sim_rounds_total",
+			"Committed simulation rounds")
+		s.mSkipped = r.Counter("lumos_sim_rounds_skipped_total",
+			"Rounds with no usable training signal")
+		s.mBytes = r.Counter("lumos_sim_bytes_total",
+			"Wire bytes moved by the fleet")
+		s.mEnergy = r.Gauge("lumos_sim_energy_joules",
+			"Cumulative fleet energy spend in joules")
+		s.mRoundEnergy = r.Gauge("lumos_sim_round_energy_joules",
+			"Energy spend of the most recent round in joules")
+		s.mParticipants = r.Gauge("lumos_sim_participants",
+			"Participant count of the most recent round")
+		s.mRoundTime = r.Histogram("lumos_sim_round_seconds",
+			"Simulated seconds from round start to commit", obs.DurationBuckets)
+		s.agg.Wait = r.Histogram("lumos_sim_agg_wait_seconds",
+			"Simulated queueing delay at the shared aggregator link", obs.DurationBuckets)
+		s.agg.Served = r.Counter("lumos_sim_agg_jobs_total",
+			"Jobs serialized through the shared aggregator link")
+	}
 	return s, nil
+}
+
+// recordRound folds a finished round into the metrics registry and the
+// trace timeline. Called once per round, for committed and idle rounds
+// alike.
+func (s *Simulator) recordRound(rs *RoundStats) {
+	s.mRounds.Inc()
+	if rs.Skipped {
+		s.mSkipped.Inc()
+	}
+	s.mBytes.Add(rs.Bytes)
+	s.mEnergy.Add(rs.Energy)
+	s.mRoundEnergy.Set(rs.Energy)
+	s.mParticipants.Set(float64(rs.Participants))
+	s.mRoundTime.Observe(rs.Commit - rs.Start)
+	if s.tr == nil {
+		return
+	}
+	s.tr.Span(roundTrack, "round", "round", rs.Start, rs.Commit, map[string]any{
+		"round": rs.Round, "participants": rs.Participants, "loss": rs.Loss,
+		"energy": rs.Energy, "skipped": rs.Skipped,
+	})
+	s.tr.Instant(roundTrack, "round", "commit", rs.Commit,
+		map[string]any{"round": rs.Round})
+	if rs.Evaluated {
+		s.tr.Instant(roundTrack, "round", "eval", rs.Commit,
+			map[string]any{"round": rs.Round, "metric": rs.Metric})
+	}
 }
 
 // Profiles exposes the fleet for inspection and reporting.
@@ -104,6 +171,12 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 	n := s.sys.G.N
 	sched := s.sys.Cfg.Sched
 	bound := s.sys.Cfg.Staleness
+	if s.tr != nil {
+		s.tr.SetTrackName(roundTrack, "aggregator")
+		for d := 0; d < n; d++ {
+			s.tr.SetTrackName(d+1, fmt.Sprintf("device %d", d))
+		}
+	}
 	res := &Result{Metric: sess.MetricName()}
 	prev := 0.0
 	for r := 0; r < s.sc.Rounds; r++ {
@@ -149,6 +222,7 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 			prev += s.sc.Cost.BaseCompute.Seconds() + s.sc.Cost.MsgLatency.Seconds()
 			rs.Commit, rs.Skipped = prev, true
 			s.commits = append(s.commits, prev)
+			s.recordRound(&rs)
 			res.Timeline = append(res.Timeline, rs)
 			continue
 		}
@@ -181,11 +255,20 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 				// The re-download's model bytes cross the shared aggregator
 				// link like any other traffic: the download is served (and
 				// occupies the server) before the device's own link time.
-				start = s.agg.Serve(start, s.model) + s.downTime(d)
+				caught := s.agg.Serve(start, s.model) + s.downTime(d)
+				if s.tr != nil {
+					s.tr.Span(d+1, "device", "catch-up", start, caught,
+						map[string]any{"round": r})
+				}
+				start = caught
 				rs.CatchUps++
 				radioBytes += s.model // catch-up re-download
 			}
 			ct := s.computeTime(d)
+			if s.tr != nil {
+				s.tr.Span(d+1, "device", "compute", start, start+ct,
+					map[string]any{"round": r})
+			}
 			s.push(evComputeDone, start+ct, d, r)
 			// Energy: active compute at the profile-scaled power draw plus
 			// every byte this device moves over its radio this round.
@@ -207,7 +290,12 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 		// serving straggler uploads past the quorum commit, and the
 		// broadcast queues behind them. With contention disabled Serve is a
 		// pass-through, matching the independent-link model.
+		preBroadcast := commit
 		commit = s.agg.Serve(commit, int64(len(participants))*s.model)
+		if s.tr != nil && commit > preBroadcast {
+			s.tr.Span(roundTrack, "agg", "broadcast", preBroadcast, commit,
+				map[string]any{"round": r, "participants": len(participants)})
+		}
 
 		activeDev := make([]bool, n)
 		for _, d := range participants {
@@ -243,6 +331,7 @@ func (s *Simulator) Run(obj core.Objective) (*Result, error) {
 			}
 			rs.Metric, rs.Evaluated = m, true
 		}
+		s.recordRound(&rs)
 		res.Timeline = append(res.Timeline, rs)
 		res.TotalBytes += rs.Bytes
 		res.StaleApplied += rs.StaleApplied
@@ -328,9 +417,21 @@ func (s *Simulator) drainRound(arr []float64) {
 		e := heap.Pop(&s.q).(*event)
 		switch e.kind {
 		case evComputeDone:
-			s.push(evArrival, e.at+s.xferTime(e.device), e.device, e.round)
+			arrive := e.at + s.xferTime(e.device)
+			if s.tr != nil {
+				s.tr.Span(e.device+1, "device", "upload", e.at, arrive,
+					map[string]any{"round": e.round})
+			}
+			s.push(evArrival, arrive, e.device, e.round)
 		case evArrival:
-			arr[e.device] = s.agg.Serve(e.at, s.up[e.device])
+			served := s.agg.Serve(e.at, s.up[e.device])
+			if s.tr != nil && served > e.at {
+				// Queueing plus service at the shared aggregator link — the
+				// contention the M/G/1 server models.
+				s.tr.Span(e.device+1, "device", "agg-serve", e.at, served,
+					map[string]any{"round": e.round})
+			}
+			arr[e.device] = served
 		}
 	}
 }

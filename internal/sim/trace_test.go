@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"lumos/internal/core"
+	"lumos/internal/obs"
+)
+
+// traceRun plays a fixed scenario through the simulator with a virtual-clock
+// tracer attached and returns the Chrome trace-event bytes.
+func traceRun(t *testing.T, seed int64) []byte {
+	t.Helper()
+	sys, split := simSystem(t, core.SchedSync, 0, 1, seed)
+	tr := obs.NewVirtualTracer()
+	s, err := New(sys, Scenario{
+		Rounds: 4, Churn: 0.2, Participation: 0.8, EvalEvery: 2,
+		Seed: seed, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(core.NewSupervisedObjective(split)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSimTraceDeterministic pins the acceptance criterion that the trace a
+// fixed-seed run emits is byte-reproducible: the simulator is
+// single-threaded, so event order — and therefore the serialized trace —
+// must not vary between runs.
+func TestSimTraceDeterministic(t *testing.T) {
+	a := traceRun(t, 11)
+	b := traceRun(t, 11)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
+	if c := traceRun(t, 12); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestSimTraceChromeStructure validates the emitted document against the
+// Chrome trace-event format Perfetto loads: a traceEvents array whose
+// entries carry name/ph/ts(+dur for spans), with the track-naming metadata
+// and the round/device spans the simulator promises.
+func TestSimTraceChromeStructure(t *testing.T) {
+	raw := traceRun(t, 5)
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	names := map[string]int{}  // event name -> count, for promised events
+	phases := map[string]int{} // ph -> count
+	aggTrack := false
+	for _, e := range doc.TraceEvents {
+		phases[e.Ph]++
+		names[e.Name]++
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 {
+				t.Fatalf("span %q has negative dur %v", e.Name, e.Dur)
+			}
+		case "M":
+			if e.Name != "thread_name" {
+				t.Fatalf("metadata event %q, want thread_name", e.Name)
+			}
+			if e.TID == 0 && e.Args["name"] == "aggregator" {
+				aggTrack = true
+			}
+		case "i":
+			// instants carry no dur
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.PID != 1 {
+			t.Fatalf("event %q on pid %d, want 1", e.Name, e.PID)
+		}
+	}
+	if phases["X"] == 0 || phases["M"] == 0 || phases["i"] == 0 {
+		t.Fatalf("missing phases: %v", phases)
+	}
+	if !aggTrack {
+		t.Fatal("no thread_name metadata for the aggregator track")
+	}
+	for _, want := range []string{"round", "compute", "commit"} {
+		if names[want] == 0 {
+			t.Fatalf("no %q events in trace (have %v)", want, names)
+		}
+	}
+
+	// Round spans must carry the args the Perfetto UI surfaces.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "round" {
+			for _, k := range []string{"round", "participants", "loss"} {
+				if _, ok := e.Args[k]; !ok {
+					t.Fatalf("round span missing arg %q: %v", k, e.Args)
+				}
+			}
+			break
+		}
+	}
+}
+
+// TestSimMetricsRegistered checks the simulator's registry surface: after a
+// run with a Metrics registry attached, the promised lumos_sim_* series
+// exist and are consistent with the result.
+func TestSimMetricsRegistered(t *testing.T) {
+	sys, split := simSystem(t, core.SchedSync, 0, 1, 9)
+	reg := obs.New()
+	s, err := New(sys, Scenario{Rounds: 3, Seed: 9, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(core.NewSupervisedObjective(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := obs.ParsePrometheus(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals["lumos_sim_rounds_total"]; got != float64(len(res.Timeline)) {
+		t.Fatalf("lumos_sim_rounds_total = %v, want %d", got, len(res.Timeline))
+	}
+	if got := vals["lumos_sim_bytes_total"]; got != float64(res.TotalBytes) {
+		t.Fatalf("lumos_sim_bytes_total = %v, want %d", got, res.TotalBytes)
+	}
+	if _, ok := vals["lumos_sim_round_seconds_count"]; !ok {
+		t.Fatal("lumos_sim_round_seconds histogram not exported")
+	}
+}

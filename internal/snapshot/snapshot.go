@@ -38,6 +38,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"time"
 
 	"lumos/internal/core"
 	"lumos/internal/nn"
@@ -400,11 +401,19 @@ func PeekVersion(path string) (uint64, error) {
 	return hdr.Version, nil
 }
 
+// PublishObserver, when set, is called after every successful Write with
+// the published path, version, encoded size, and the time the encode+
+// fsync+rename took. CLIs hook it up once at startup to count and trace
+// snapshot publishes; it must be set before any concurrent Write and be
+// safe for concurrent calls. Nil (the default) costs nothing.
+var PublishObserver func(path string, version uint64, bytes int64, elapsed time.Duration)
+
 // Write publishes the snapshot to path atomically: encode to a temporary
 // file in the same directory, fsync, check the close error (a full disk
 // must never ship a truncated snapshot), then rename over path. A watcher
 // polling path sees either the old snapshot or the complete new one.
 func Write(path string, s *Snapshot) (err error) {
+	start := time.Now()
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*")
 	if err != nil {
@@ -419,6 +428,10 @@ func Write(path string, s *Snapshot) (err error) {
 		tmp.Close()
 		return err
 	}
+	var size int64
+	if st, serr := tmp.Stat(); serr == nil {
+		size = st.Size()
+	}
 	if err = tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
@@ -426,7 +439,13 @@ func Write(path string, s *Snapshot) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if PublishObserver != nil {
+		PublishObserver(path, s.Meta.Version, size, time.Since(start))
+	}
+	return nil
 }
 
 // PublishNext writes the snapshot to path with the next version: one past

@@ -168,6 +168,37 @@
 // lumos-serve CLI (HTTP: /healthz, /v1/info, /v1/classify, /v1/score),
 // lumos-train -publish, lumos-bench -serve (zipf load replay →
 // BENCH_serve.json), and the examples/servequickstart walkthrough.
+//
+// # Observability (internal/obs)
+//
+// Every layer is instrumented through internal/obs, a dependency-free
+// telemetry substrate with two design rules. First, disabled telemetry is
+// free: Config.Metrics and Config.Tracer default to nil, every instrument
+// method no-ops on a nil receiver, and the nil path is bit-and-allocation
+// identical to an uninstrumented build (the allocation-budget and golden
+// loss-trace tests in CI pin this). Second, the hot path never allocates:
+// counters and gauges are single atomics, histograms are fixed-bucket
+// atomic arrays, and rendering snapshots them only at scrape time.
+//
+//	reg := lumos.NewMetricsRegistry()
+//	sys, _ := lumos.NewSystem(g, g, lumos.Config{Metrics: reg, Tracer: lumos.NewEventTracer()})
+//	// ... train ...
+//	reg.WritePrometheus(os.Stdout) // text exposition format 0.0.4
+//
+// A MetricsRegistry exports Prometheus text (training: lumos_train_* step
+// counters, loss and queue-depth gauges, step-time histogram; simulation:
+// lumos_sim_* rounds, bytes, energy, aggregator queueing; serving:
+// lumos_serve_* per-endpoint latency and batch-size histograms, swap count,
+// serving snapshot version). An EventTracer records spans and instants —
+// epochs, rounds, device compute/upload, aggregator serving, snapshot
+// publishes, batch drains, hot swaps — and writes them as Chrome
+// trace-event JSON viewable in Perfetto (ui.perfetto.dev) or as JSONL.
+// Training and serving trace on the wall clock (NewEventTracer); the
+// simulator traces on its virtual clock (NewVirtualEventTracer via
+// SimScenario.Tracer), and the two never mix in one file. Surfaces:
+// lumos-serve GET /metrics (plus -log request logging and -pprof),
+// lumos-sim/lumos-train -trace and -metrics, and lumos-bench -serve embeds
+// the replica's final scrape in BENCH_serve.json.
 package lumos
 
 import (
@@ -178,6 +209,7 @@ import (
 	"lumos/internal/fleet"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/obs"
 	"lumos/internal/serve"
 	"lumos/internal/sim"
 	"lumos/internal/snapshot"
@@ -413,6 +445,38 @@ func NewServeBundle(s *Snapshot) (*ServeBundle, error) { return serve.NewBundle(
 // RunServeLoad replays zipf-distributed queries against a serving replica
 // and reports latency percentiles, throughput, and versions observed.
 func RunServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) { return serve.RunLoad(cfg) }
+
+// Observability (see the package documentation).
+type (
+	// MetricsRegistry holds named atomic counters, gauges, and fixed-bucket
+	// histograms and renders them in Prometheus text format. A nil registry
+	// (the Config default) disables metrics entirely and costs nothing.
+	MetricsRegistry = obs.Registry
+	// EventTracer records spans and instants and writes Chrome trace-event
+	// JSON (viewable in Perfetto) or JSONL. A nil tracer is a no-op.
+	EventTracer = obs.Tracer
+	// MetricsHistogram is one fixed-bucket histogram instrument; exported so
+	// embedders can attach their own (e.g. fleet.Server.Wait).
+	MetricsHistogram = obs.Histogram
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// NewEventTracer builds a wall-clock tracer: Now() is seconds since
+// creation. Use it for Config.Tracer in real training and serving.
+func NewEventTracer() *EventTracer { return obs.NewTracer() }
+
+// NewVirtualEventTracer builds a tracer for simulated time: callers supply
+// event timestamps in simulated seconds (SimScenario.Tracer). Simulator
+// runs are single-threaded, so its traces are byte-reproducible per seed.
+func NewVirtualEventTracer() *EventTracer { return obs.NewVirtualTracer() }
+
+// ParsePrometheus parses Prometheus text exposition into a flat
+// name→value map — the scrape side of MetricsRegistry.WritePrometheus.
+func ParsePrometheus(text string) (map[string]float64, error) {
+	return obs.ParsePrometheus(text)
+}
 
 // Experiment harness (one runner per paper figure).
 type (

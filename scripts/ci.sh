@@ -21,11 +21,34 @@ go vet ./...
 go build ./...
 go test ./...
 
-alloc_out=$(go test -run 'Test(Supervised|Unsupervised)EpochAllocBudget|TestUnsupervisedSessionAllocBudget' -count=1 -v ./internal/core)
-for guard in TestSupervisedEpochAllocBudget TestUnsupervisedEpochAllocBudget TestUnsupervisedSessionAllocBudget; do
+alloc_out=$(go test -run 'Test(Supervised|Unsupervised)EpochAllocBudget|TestUnsupervisedSessionAllocBudget|TestDisabledTelemetryAllocBudget' -count=1 -v ./internal/core)
+for guard in TestSupervisedEpochAllocBudget TestUnsupervisedEpochAllocBudget TestUnsupervisedSessionAllocBudget TestDisabledTelemetryAllocBudget; do
 	if ! grep -q -- "--- PASS: $guard" <<<"$alloc_out"; then
 		echo "allocation-regression guard $guard did not pass:" >&2
 		echo "$alloc_out" >&2
+		exit 1
+	fi
+done
+
+# Observability gates, re-run by name so a renamed or skipped guard fails
+# loudly: the metrics hammer under the race detector (concurrent counters,
+# gauges, histograms, and scrapers), the sim trace-determinism golden, and
+# the replica /metrics scrape-and-parse suite. The /metrics smoke at CLI
+# level rides inside TestServePublishServeQueryE2E below.
+obs_out=$(go test -race -run 'TestMetricsHammerConcurrent' -count=1 -v ./internal/obs)
+trace_out=$(go test -run 'TestSimTraceDeterministic|TestSimTraceChromeStructure' -count=1 -v ./internal/sim)
+scrape_out=$(go test -run 'TestMetricsEndpointScrape|TestAccessLog' -count=1 -v ./internal/serve)
+for gate in \
+	"TestMetricsHammerConcurrent:$obs_out" \
+	"TestSimTraceDeterministic:$trace_out" \
+	"TestSimTraceChromeStructure:$trace_out" \
+	"TestMetricsEndpointScrape:$scrape_out" \
+	"TestAccessLog:$scrape_out"; do
+	name=${gate%%:*}
+	out=${gate#*:}
+	if ! grep -q -- "--- PASS: $name" <<<"$out"; then
+		echo "observability gate $name did not pass:" >&2
+		echo "$out" >&2
 		exit 1
 	fi
 done
@@ -34,8 +57,8 @@ done
 # loudly: the trace-driven lumos-sim smoke row (datagen-written trace file →
 # fleet.LoadTrace → contended simulation) and the energystudy example (exits
 # non-zero unless fleet energy grows monotonically with participation).
-smoke_out=$(go test -run 'TestEntryPointsBuildAndRun/(lumos-sim-trace|examples)/energystudy' -count=1 -v .)
-for row in lumos-sim-trace examples/energystudy; do
+smoke_out=$(go test -run 'TestEntryPointsBuildAndRun/(lumos-sim-trace|lumos-sim-telemetry|examples)/energystudy' -count=1 -v .)
+for row in lumos-sim-trace lumos-sim-telemetry examples/energystudy; do
 	if ! grep -q -- "--- PASS: TestEntryPointsBuildAndRun/$row" <<<"$smoke_out"; then
 		echo "fleet smoke row $row did not pass:" >&2
 		echo "$smoke_out" >&2

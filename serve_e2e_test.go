@@ -8,12 +8,15 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"lumos/internal/obs"
 )
 
 func TestServePublishServeQueryE2E(t *testing.T) {
@@ -163,5 +166,30 @@ func TestServePublishServeQueryE2E(t *testing.T) {
 	waitVersion(2)
 	if code := postJSON("/v1/classify", body, &cls); code != http.StatusOK || cls.Version != 2 {
 		t.Fatalf("classify after swap: HTTP %d, %+v", code, cls)
+	}
+
+	// The replica's Prometheus surface: /metrics parses and reports the
+	// serving state this test just drove (two snapshots, now at v2).
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d, %v", resp.StatusCode, err)
+	}
+	metrics, err := obs.ParsePrometheus(string(raw))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if v := metrics["lumos_serve_snapshot_version"]; v != 2 {
+		t.Fatalf("lumos_serve_snapshot_version = %v, want 2", v)
+	}
+	if n := metrics["lumos_serve_swaps_total"]; n != 2 {
+		t.Fatalf("lumos_serve_swaps_total = %v, want 2", n)
+	}
+	if c := metrics[`lumos_serve_queries_total{endpoint="classify"}`]; c < 2 {
+		t.Fatalf(`lumos_serve_queries_total{endpoint="classify"} = %v, want >= 2`, c)
 	}
 }

@@ -45,6 +45,12 @@ var entryPoints = []struct {
 	{pkg: "./cmd/lumos-sim", name: "lumos-sim-trace", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
 		"-fleet", "trace:{TRACE}", "-agg-capacity", "2e6", "-select"}},
+	// Telemetry surface: -trace writes Chrome trace-event JSON ({TMP} is the
+	// shared temp dir) and -metrics dumps Prometheus text after the
+	// timeline; the row keeps both observability flags from rotting.
+	{pkg: "./cmd/lumos-sim", name: "lumos-sim-telemetry", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
+		"-trace", "{TMP}/sim.trace.json", "-metrics"}},
 	// lumos-train runs at tiny scale with the fresh-tape-per-epoch escape
 	// hatch so the -notapereuse path cannot rot.
 	{pkg: "./cmd/lumos-train", run: true, args: []string{
@@ -112,7 +118,8 @@ func TestEntryPointsBuildAndRun(t *testing.T) {
 			}
 			args := make([]string, len(ep.args))
 			for i, a := range ep.args {
-				args[i] = strings.ReplaceAll(a, "{TRACE}", tracePath)
+				a = strings.ReplaceAll(a, "{TRACE}", tracePath)
+				args[i] = strings.ReplaceAll(a, "{TMP}", binDir)
 			}
 			cmd := exec.Command(bin, args...)
 			out, err := cmd.CombinedOutput()
