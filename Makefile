@@ -13,12 +13,16 @@ test:
 race:
 	go test -race -short ./internal/... ./...
 
-# Epoch benchmarks: BenchmarkEpochParallel reports its speedup over the
-# serial baseline as a custom metric; -benchmem tracks the tape engine's
+# Epoch + kernel benchmarks: BenchmarkEpochParallel reports its speedup over
+# the serial baseline as a custom metric; -benchmem tracks the tape engine's
 # B/op and allocs/op (the allocation-regression budget lives in
-# internal/core/alloc_test.go and runs under `make ci`).
+# internal/core/alloc_test.go and runs under `make ci`). The stream is piped
+# through scripts/benchjson, which echoes it and records the results with
+# run metadata in BENCH_epoch.json (same convention as BENCH_serve.json).
 bench:
-	go test -run xxx -bench 'BenchmarkEpoch' -benchtime 10x -benchmem .
+	go test -run xxx -benchtime 20x -benchmem \
+		-bench 'BenchmarkEpoch|BenchmarkForestEpoch|BenchmarkMatMul|BenchmarkCSRAggregate' . \
+		| go run ./scripts/benchjson -out BENCH_epoch.json
 
 # Serving benchmark: train, publish a snapshot, replay zipf query traffic
 # against a live replica, hot-swap to a republished model under load, and

@@ -44,6 +44,7 @@ func main() {
 		sched     = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
 		stale     = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
 		noTape    = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
+		kernels   = flag.String("kernels", "", "tensor kernel path: blocked (default) | reference (scalar cross-check loops; identical results)")
 		tracePth  = flag.String("trace", "", "write per-epoch spans and publish events as Chrome trace-event JSON (viewable in Perfetto)")
 		metricsOn = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format at the end")
 	)
@@ -83,6 +84,7 @@ func main() {
 		Epsilon: *eps, Epochs: *epochs, MCMCIterations: *mcmc,
 		SecureCompare: *secure, DisableVirtualNodes: *noVN, DisableTreeTrimming: *noTT,
 		Workers: *workers, Sched: schedMode, Staleness: *stale, NoTapeReuse: *noTape,
+		Kernels: *kernels,
 		Metrics: reg, Tracer: tr,
 		Seed: *seed,
 	}

@@ -1,0 +1,187 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lumos/internal/tensor"
+)
+
+// These tests pin the fused CSRAggregate / CSRAggregateMul ops to the unfused
+// Gather→ScaleRows/MulRowsByCol→SegmentSum chains they replace: forward data
+// AND backward gradients must match bit for bit on random graphs, including
+// empty segments, isolated nodes, duplicate edges, m=0 and n=1.
+
+type csrCase struct {
+	nsrc, nseg, m, c int
+}
+
+var csrCases = []csrCase{
+	{1, 1, 1, 1},     // single node, self edge
+	{1, 1, 4, 3},     // duplicate edges onto one segment
+	{5, 8, 0, 4},     // no edges at all: every segment empty
+	{8, 5, 30, 16},   // more edges than nodes, some sources repeated
+	{40, 40, 25, 7},  // sparse: most segments empty, most nodes isolated
+	{6, 3, 64, 1},    // single feature column
+	{16, 31, 200, 9}, // dense fan-in
+}
+
+func randGraph(tc csrCase, rng *rand.Rand) (src, dst []int, coef []float64) {
+	src = make([]int, tc.m)
+	dst = make([]int, tc.m)
+	coef = make([]float64, tc.m)
+	for e := 0; e < tc.m; e++ {
+		src[e] = rng.Intn(tc.nsrc)
+		dst[e] = rng.Intn(tc.nseg)
+		coef[e] = rng.NormFloat64()
+	}
+	return src, dst, coef
+}
+
+func randMatrix(rows, cols int, rng *rand.Rand) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	d := m.Data()
+	for i := range d {
+		if rng.Float64() < 0.2 {
+			d[i] = 0 // exercise the sparsity-sensitive corners
+		} else {
+			d[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func requireBits(t *testing.T, name string, want, got *tensor.Matrix) {
+	t.Helper()
+	if want == nil || got == nil {
+		t.Fatalf("%s: nil matrix (want %v, got %v)", name, want != nil, got != nil)
+	}
+	if want.Rows() != got.Rows() || want.Cols() != got.Cols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, want.Rows(), want.Cols(), got.Rows(), got.Cols())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if math.Float64bits(wd[i]) != math.Float64bits(gd[i]) {
+			t.Fatalf("%s: entry %d: %v vs %v (bits %x vs %x)",
+				name, i, wd[i], gd[i], math.Float64bits(wd[i]), math.Float64bits(gd[i]))
+		}
+	}
+}
+
+// TestCSRAggregateMatchesUnfused compares the fused GCN-style aggregation
+// (scalar edge coefficients) against ScaleRows(Gather(a))→SegmentSum.
+func TestCSRAggregateMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, taped := range []bool{false, true} {
+		for _, tc := range csrCases {
+			src, dst, coef := randGraph(tc, rng)
+			csr := tensor.NewCSR(tc.nseg, src, dst)
+			aData := randMatrix(tc.nsrc, tc.c, rng)
+			seed := randMatrix(tc.nseg, tc.c, rng)
+
+			mk := func(m *tensor.Matrix) *Value {
+				if taped {
+					return NewTape().Var(m)
+				}
+				return Var(m)
+			}
+
+			aRef := mk(aData.Clone())
+			ref := SegmentSum(ScaleRows(Gather(aRef, src), coef), dst, tc.nseg)
+			ref.BackwardWithGradient(seed.Clone())
+
+			aFus := mk(aData.Clone())
+			fus := CSRAggregate(aFus, csr, coef)
+			fus.BackwardWithGradient(seed.Clone())
+
+			requireBits(t, "CSRAggregate forward", ref.Data, fus.Data)
+			requireBits(t, "CSRAggregate dL/da", aRef.Grad, aFus.Grad)
+
+			// Unweighted (coef nil) against a bare Gather→SegmentSum chain.
+			aRefU := mk(aData.Clone())
+			refU := SegmentSum(Gather(aRefU, src), dst, tc.nseg)
+			refU.BackwardWithGradient(seed.Clone())
+			aFusU := mk(aData.Clone())
+			fusU := CSRAggregate(aFusU, csr, nil)
+			fusU.BackwardWithGradient(seed.Clone())
+			requireBits(t, "CSRAggregate nil-coef forward", refU.Data, fusU.Data)
+			requireBits(t, "CSRAggregate nil-coef dL/da", aRefU.Grad, aFusU.Grad)
+		}
+	}
+}
+
+// TestCSRAggregateMulMatchesUnfused compares the fused GAT-style aggregation
+// (learned per-edge weight column) against MulRowsByCol(Gather(a), w)→
+// SegmentSum, checking both the feature gradient and the edge-weight
+// gradient.
+func TestCSRAggregateMulMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, taped := range []bool{false, true} {
+		for _, tc := range csrCases {
+			src, dst, _ := randGraph(tc, rng)
+			csr := tensor.NewCSR(tc.nseg, src, dst)
+			aData := randMatrix(tc.nsrc, tc.c, rng)
+			wData := randMatrix(tc.m, 1, rng)
+			seed := randMatrix(tc.nseg, tc.c, rng)
+
+			mk := func(m *tensor.Matrix) *Value {
+				if taped {
+					return NewTape().Var(m)
+				}
+				return Var(m)
+			}
+
+			aRef := mk(aData.Clone())
+			wRef := mk(wData.Clone())
+			ref := SegmentSum(MulRowsByCol(Gather(aRef, src), wRef), dst, tc.nseg)
+			ref.BackwardWithGradient(seed.Clone())
+
+			aFus := mk(aData.Clone())
+			wFus := mk(wData.Clone())
+			fus := CSRAggregateMul(aFus, wFus, csr)
+			fus.BackwardWithGradient(seed.Clone())
+
+			requireBits(t, "CSRAggregateMul forward", ref.Data, fus.Data)
+			requireBits(t, "CSRAggregateMul dL/da", aRef.Grad, aFus.Grad)
+			if tc.m > 0 {
+				requireBits(t, "CSRAggregateMul dL/dw", wRef.Grad, wFus.Grad)
+			}
+		}
+	}
+}
+
+// TestCSRAggregateConstInput checks that aggregation over a non-grad input
+// (e.g. the frozen layer-0 features) still produces the right forward data
+// and no gradient, on both ops.
+func TestCSRAggregateConstInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tc := csrCase{10, 6, 24, 5}
+	src, dst, coef := randGraph(tc, rng)
+	csr := tensor.NewCSR(tc.nseg, src, dst)
+	aData := randMatrix(tc.nsrc, tc.c, rng)
+	seed := randMatrix(tc.nseg, tc.c, rng)
+
+	aRef := Const(aData.Clone())
+	ref := SegmentSum(ScaleRows(Gather(aRef, src), coef), dst, tc.nseg)
+	aFus := Const(aData.Clone())
+	fus := CSRAggregate(aFus, csr, coef)
+	requireBits(t, "const forward", ref.Data, fus.Data)
+	if fus.RequiresGrad() {
+		t.Fatal("aggregate of a const should not require grad")
+	}
+
+	// Mixed case: const features, learned edge weights.
+	wData := randMatrix(tc.m, 1, rng)
+	wRef := Var(wData.Clone())
+	refM := SegmentSum(MulRowsByCol(Gather(Const(aData.Clone()), src), wRef), dst, tc.nseg)
+	refM.BackwardWithGradient(seed.Clone())
+	wFus := Var(wData.Clone())
+	fusM := CSRAggregateMul(Const(aData.Clone()), wFus, csr)
+	fusM.BackwardWithGradient(seed.Clone())
+	requireBits(t, "mixed forward", refM.Data, fusM.Data)
+	requireBits(t, "mixed dL/dw", wRef.Grad, wFus.Grad)
+	if aFus.Grad != nil {
+		t.Fatal("const input accumulated a gradient")
+	}
+}

@@ -123,6 +123,61 @@ func backMulRowsByCol(v *Value) {
 	}
 }
 
+// CSRAggregate fuses the Gather→ScaleRows→SegmentSum neighborhood
+// aggregation into one op: out.Row(s) = Σ_{edges e with dst[e]=s}
+// coef[e]·a.Row(src[e]), where the edge grouping (and the per-segment
+// summation order) comes from csr. coef may be nil for an unweighted sum.
+// Forward and backward are bit-identical to the unfused chain — csr stores
+// slots in original edge order, the exact order SegmentSum's scatter runs
+// in — but no per-edge message matrix is ever materialized, in either pass.
+// Like the unfused ops, csr and coef are retained by reference.
+func CSRAggregate(a *Value, csr *tensor.CSR, coef []float64) *Value {
+	t := tapeFor(a)
+	// The fused kernel overwrites every row, so a recycled (unzeroed) tape
+	// buffer is fine here.
+	data := newMatrix(t, csr.NSeg, a.Data.Cols())
+	tensor.CSRAggregateInto(data, a.Data, csr, coef)
+	out := newNode(t, data, backCSRAggregate, a)
+	out.ints = csr.Src
+	out.ints2 = csr.Dst
+	out.fs = coef
+	return out
+}
+
+func backCSRAggregate(v *Value) {
+	tensor.CSRAggregateBackward(v.parents[0].EnsureGrad(), nil, nil, v.Grad, v.ints, v.ints2, v.fs)
+}
+
+// CSRAggregateMul is CSRAggregate with a differentiable per-edge weight: it
+// fuses Gather→MulRowsByCol→SegmentSum, with w an NumEdges×1 column
+// (attention coefficients). Both gradients flow; each is bit-identical to
+// its unfused counterpart.
+func CSRAggregateMul(a, w *Value, csr *tensor.CSR) *Value {
+	if w.Data.Rows() != csr.NumEdges() || w.Data.Cols() != 1 {
+		panic(fmt.Sprintf("autodiff: CSRAggregateMul w %dx%d for %d edges",
+			w.Data.Rows(), w.Data.Cols(), csr.NumEdges()))
+	}
+	t := tapeFor(a, w)
+	data := newMatrix(t, csr.NSeg, a.Data.Cols())
+	tensor.CSRAggregateInto(data, a.Data, csr, w.Data.Data())
+	out := newNode(t, data, backCSRAggregateMul, a, w)
+	out.ints = csr.Src
+	out.ints2 = csr.Dst
+	return out
+}
+
+func backCSRAggregateMul(v *Value) {
+	a, w := v.parents[0], v.parents[1]
+	var aGrad, wGrad *tensor.Matrix
+	if a.requiresGrad {
+		aGrad = a.EnsureGrad()
+	}
+	if w.requiresGrad {
+		wGrad = w.EnsureGrad()
+	}
+	tensor.CSRAggregateBackward(aGrad, wGrad, a.Data, v.Grad, v.ints, v.ints2, w.Data.Data())
+}
+
 // SegmentSoftmax normalizes the n×1 column e with a numerically stable
 // softmax within each segment: out_i = exp(e_i−m_s)/Σ_{j∈s} exp(e_j−m_s)
 // for s = seg[i]. Rows whose segment has a single member get 1.

@@ -52,6 +52,10 @@ type shard struct {
 	leafLocal  []int
 	leafVertex []int
 	poolCoef   []float64
+	// pool groups the leaf→vertex pooling edges by vertex (stable leaf
+	// order) so the fused kernel path can run Gather→ScaleRows→SegmentSum
+	// as one CSR aggregation.
+	pool *tensor.CSR
 	// work is the shard's node count — its compute weight, used both to
 	// balance the partition and to rank stragglers for async scheduling.
 	work int
@@ -104,6 +108,9 @@ func newEngine(s *System) *engine {
 	}
 	e := &engine{sys: s, workers: s.Cfg.Workers, noReuse: s.Cfg.NoTapeReuse}
 	e.shards = buildShards(s.Forest, s.Trees, target)
+	for _, sh := range e.shards {
+		sh.pool = tensor.NewCSR(s.G.N, sh.leafLocal, sh.leafVertex)
+	}
 	for i := range e.shards {
 		e.encs = append(e.encs, s.Encoder.CloneShared())
 		e.rngs = append(e.rngs, rand.New(rand.NewSource(s.Cfg.Seed^(int64(i+1)*0x1f3d5b79a7c6e42d))))
@@ -297,9 +304,15 @@ func (e *engine) forwardActive(training bool, active []bool) []*autodiff.Value {
 		sh := e.shards[i]
 		x := e.shardTape(i).Const(sh.x)
 		h := e.encs[i].Forward(sh.conv, x, training, e.rngs[i])
-		leaves := autodiff.Gather(h, sh.leafLocal)
-		scaled := autodiff.ScaleRows(leaves, sh.poolCoef)
-		parts[i] = autodiff.SegmentSum(scaled, sh.leafVertex, e.sys.G.N)
+		if tensor.ActiveKernelPath() == tensor.PathReference {
+			leaves := autodiff.Gather(h, sh.leafLocal)
+			scaled := autodiff.ScaleRows(leaves, sh.poolCoef)
+			parts[i] = autodiff.SegmentSum(scaled, sh.leafVertex, e.sys.G.N)
+		} else {
+			// Same pooling, fused: one CSR aggregation instead of three ops
+			// materializing per-leaf rows (bit-identical either way).
+			parts[i] = autodiff.CSRAggregate(h, sh.pool, sh.poolCoef)
+		}
 	})
 	return parts
 }

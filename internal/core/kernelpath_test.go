@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"lumos/internal/nn"
+	"lumos/internal/tensor"
+)
+
+// TestKernelPathsBitIdentical trains full GCN and GAT systems under the
+// scalar reference kernels and under the blocked+fused default, and requires
+// identical loss traces down to the last bit. Combined with the pre-session
+// golden traces (which run on the default path), this pins both kernel paths
+// to the frozen summation-order contract.
+func TestKernelPathsBitIdentical(t *testing.T) {
+	// NewSystem applies cfg.Kernels process-globally; restore the default so
+	// test order can't leak the reference path into other tests.
+	defer tensor.SetKernelPath(tensor.PathBlocked)
+
+	g := engineGraph(t, 9)
+	for _, bb := range []nn.Backbone{nn.GCN, nn.GAT} {
+		cfg := Config{
+			Backbone: bb, Epochs: 4, MCMCIterations: 20,
+			Workers: 1, Shards: 16, Seed: 9,
+		}
+
+		cfg.Kernels = "reference"
+		supRef := supervisedLosses(t, g, cfg)
+		unsRef := unsupervisedLosses(t, g, cfg)
+
+		cfg.Kernels = "blocked"
+		supBlk := supervisedLosses(t, g, cfg)
+		unsBlk := unsupervisedLosses(t, g, cfg)
+
+		requireIdentical(t, bb.String()+" supervised reference vs blocked", supRef, supBlk)
+		requireIdentical(t, bb.String()+" unsupervised reference vs blocked", unsRef, unsBlk)
+	}
+}

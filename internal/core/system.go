@@ -8,6 +8,7 @@ import (
 	"lumos/internal/fed"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/tensor"
 	"lumos/internal/tree"
 )
 
@@ -51,6 +52,13 @@ type System struct {
 func NewSystem(g, full *graph.Graph, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Kernels != "" {
+		// Validated just above; the path is process-global, so only an
+		// explicit setting touches it (leaving "" preserves whatever the
+		// process selected, usually the blocked default).
+		p, _ := tensor.ParseKernelPath(cfg.Kernels)
+		tensor.SetKernelPath(p)
 	}
 	if g == nil || full == nil {
 		return nil, fmt.Errorf("core: nil graph")

@@ -13,6 +13,7 @@ import (
 	"lumos/internal/core"
 	"lumos/internal/graph"
 	"lumos/internal/nn"
+	"lumos/internal/tensor"
 )
 
 // Options scales the experiment suite. The defaults are laptop-sized; the
@@ -54,7 +55,11 @@ type Options struct {
 	// trainer (fresh tape per epoch — the debugging escape hatch; results
 	// are identical either way).
 	NoTapeReuse bool
-	Seed        int64
+	// Kernels selects the tensor kernel path for every trainer ("" or
+	// "blocked" = the register-blocked default, "reference" = the scalar
+	// loops; bit-identical results, different wall-clock).
+	Kernels string
+	Seed    int64
 }
 
 // Dataset names used throughout the harness.
@@ -97,6 +102,9 @@ func (o *Options) Validate() error {
 			return fmt.Errorf("eval: unknown dataset %q", d)
 		}
 	}
+	if _, err := tensor.ParseKernelPath(o.Kernels); err != nil {
+		return err
+	}
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
@@ -129,5 +137,6 @@ func (o *Options) engineCfg(cfg core.Config) core.Config {
 	cfg.Sched = o.Sched
 	cfg.Staleness = o.Staleness
 	cfg.NoTapeReuse = o.NoTapeReuse
+	cfg.Kernels = o.Kernels
 	return cfg
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"lumos/internal/autodiff"
 	"lumos/internal/tensor"
@@ -127,6 +128,22 @@ type ConvGraph struct {
 	N        int
 	Src, Dst []int
 	Norm     []float64
+
+	// csr caches the destination-grouped view of the edge list for the
+	// fused aggregation kernels; built lazily because the reference kernel
+	// path and some auxiliary graphs never need it.
+	csr     *tensor.CSR
+	csrOnce sync.Once
+}
+
+// CSR returns the destination-grouped (stable edge order) view of the
+// graph, building and caching it on first use. Safe for concurrent callers;
+// the returned CSR is immutable.
+func (g *ConvGraph) CSR() *tensor.CSR {
+	g.csrOnce.Do(func() {
+		g.csr = tensor.NewCSR(g.N, g.Src, g.Dst)
+	})
+	return g.csr
 }
 
 // NewConvGraph builds a ConvGraph from an undirected edge list over n nodes.
@@ -197,11 +214,19 @@ func NewGCNConv(name string, in, out int, rng *rand.Rand) *GCNConv {
 	}
 }
 
-// Forward aggregates normalized neighbor messages over g.
+// Forward aggregates normalized neighbor messages over g. On the default
+// kernel path the Gather→ScaleRows→SegmentSum chain runs as one fused
+// CSR op (bit-identical, no per-edge message matrix); the reference path
+// keeps the unfused chain for cross-checking.
 func (l *GCNConv) Forward(g *ConvGraph, x *autodiff.Value) *autodiff.Value {
 	h := autodiff.MatMul(x, l.W.V)
-	msg := autodiff.ScaleRows(autodiff.Gather(h, g.Src), g.Norm)
-	agg := autodiff.SegmentSum(msg, g.Dst, g.N)
+	var agg *autodiff.Value
+	if tensor.ActiveKernelPath() == tensor.PathReference {
+		msg := autodiff.ScaleRows(autodiff.Gather(h, g.Src), g.Norm)
+		agg = autodiff.SegmentSum(msg, g.Dst, g.N)
+	} else {
+		agg = autodiff.CSRAggregate(h, g.CSR(), g.Norm)
+	}
 	return autodiff.AddRow(agg, l.B.V)
 }
 
@@ -274,8 +299,13 @@ func (l *GATConv) Forward(g *ConvGraph, x *autodiff.Value) *autodiff.Value {
 			autodiff.Add(autodiff.Gather(sl, g.Src), autodiff.Gather(sr, g.Dst)),
 			l.NegativeSlope)
 		alpha := autodiff.SegmentSoftmax(e, g.Dst, g.N)
-		msg := autodiff.MulRowsByCol(autodiff.Gather(wh, g.Src), alpha)
-		headOuts[h] = autodiff.SegmentSum(msg, g.Dst, g.N)
+		if tensor.ActiveKernelPath() == tensor.PathReference {
+			msg := autodiff.MulRowsByCol(autodiff.Gather(wh, g.Src), alpha)
+			headOuts[h] = autodiff.SegmentSum(msg, g.Dst, g.N)
+		} else {
+			// Fused Gather→MulRowsByCol→SegmentSum (bit-identical).
+			headOuts[h] = autodiff.CSRAggregateMul(wh, alpha, g.CSR())
+		}
 	}
 	var out *autodiff.Value
 	if l.Concat {

@@ -159,14 +159,18 @@ func MatMulInto(dst, a, b *Matrix) {
 	if dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d for %dx%d product", dst.rows, dst.cols, a.rows, b.cols))
 	}
-	dst.Zero()
+	// The blocked kernel overwrites its rows, so only the accumulating
+	// reference kernel needs dst cleared first.
+	if ActiveKernelPath() == PathReference {
+		dst.Zero()
+	}
 	workers := matMulWorkers(a.rows, a.cols, b.cols)
 	if workers <= 1 {
-		matMulRows(a, b, dst, 0, a.rows)
+		matMulKernel(a, b, dst, 0, a.rows)
 		return
 	}
 	parallelRowBlocks(a.rows, workers, func(lo, hi int) {
-		matMulRows(a, b, dst, lo, hi)
+		matMulKernel(a, b, dst, lo, hi)
 	})
 }
 
@@ -182,25 +186,30 @@ func MatMulNTAddInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulNTAddInto dst %dx%d for %dx%d product", dst.rows, dst.cols, a.rows, b.rows))
 	}
 	workers := matMulWorkers(a.rows, a.cols, b.rows)
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for k := 0; k < b.rows; k++ {
-				brow := b.Row(k)
-				s := 0.0
-				for j, av := range arow {
-					s += av * brow[j]
-				}
-				drow[k] += s
-			}
-		}
-	}
 	if workers <= 1 {
-		body(0, a.rows)
+		matMulNTKernel(a, b, dst, 0, a.rows)
 		return
 	}
-	parallelRowBlocks(a.rows, workers, body)
+	parallelRowBlocks(a.rows, workers, func(lo, hi int) {
+		matMulNTKernel(a, b, dst, lo, hi)
+	})
+}
+
+// matMulNTRows is the scalar reference kernel for rows [lo, hi) of
+// dst += a·bᵀ: one dot product at a time, j ascending.
+func matMulNTRows(a, b, dst *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < b.rows; k++ {
+			brow := b.Row(k)
+			s := 0.0
+			for j, av := range arow {
+				s += av * brow[j]
+			}
+			drow[k] += s
+		}
+	}
 }
 
 // MatMulTNAddInto accumulates aᵀ·b into dst (dst k×n for a m×k, b m×n) —
@@ -215,26 +224,32 @@ func MatMulTNAddInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTNAddInto dst %dx%d for %dx%d product", dst.rows, dst.cols, a.cols, b.cols))
 	}
 	workers := matMulWorkers(a.cols, a.rows, b.cols)
-	body := func(lo, hi int) {
-		for i := 0; i < a.rows; i++ {
-			arow, brow := a.Row(i), b.Row(i)
-			for k := lo; k < hi; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				drow := dst.Row(k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+	if workers <= 1 {
+		matMulTNKernel(a, b, dst, 0, dst.rows)
+		return
+	}
+	parallelRowBlocks(dst.rows, workers, func(lo, hi int) {
+		matMulTNKernel(a, b, dst, lo, hi)
+	})
+}
+
+// matMulTNRows is the scalar reference kernel for dst rows [lo, hi) of
+// dst += aᵀ·b: rank-1 updates with a per-element sparsity branch, i ascending
+// for every entry.
+func matMulTNRows(a, b, dst *Matrix, lo, hi int) {
+	for i := 0; i < a.rows; i++ {
+		arow, brow := a.Row(i), b.Row(i)
+		for k := lo; k < hi; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
 			}
 		}
 	}
-	if workers <= 1 {
-		body(0, dst.rows)
-		return
-	}
-	parallelRowBlocks(dst.rows, workers, body)
 }
 
 // matMulWorkers sizes the worker fan-out for an m×k·k×n-shaped kernel,

@@ -1,0 +1,359 @@
+package tensor
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// KernelPath selects between the register-blocked production kernels and the
+// scalar reference kernels. The two paths are bit-identical on finite inputs
+// (see the "Kernel design" section of the package documentation); the
+// reference path exists so equivalence tests and debugging sessions can
+// cross-check the blocked kernels against the original straight-line loops.
+type KernelPath int32
+
+const (
+	// PathBlocked is the default: register-blocked matmuls with packed
+	// B-panels and 4–8-wide independent accumulator chains.
+	PathBlocked KernelPath = iota
+	// PathReference runs the original scalar loops unchanged.
+	PathReference
+)
+
+// activeKernelPath is process-global, like GOMAXPROCS: kernels read it once
+// per call, so it can be flipped between training runs but is not meant to
+// change mid-epoch.
+var activeKernelPath atomic.Int32
+
+// SetKernelPath selects the kernel implementation for subsequent calls.
+func SetKernelPath(p KernelPath) { activeKernelPath.Store(int32(p)) }
+
+// ActiveKernelPath returns the currently selected kernel path.
+func ActiveKernelPath() KernelPath { return KernelPath(activeKernelPath.Load()) }
+
+// ParseKernelPath maps the CLI/config spelling of a kernel path ("blocked"
+// or "reference"; "" means blocked) to its KernelPath value.
+func ParseKernelPath(s string) (KernelPath, error) {
+	switch s {
+	case "", "blocked":
+		return PathBlocked, nil
+	case "reference":
+		return PathReference, nil
+	default:
+		return PathBlocked, fmt.Errorf("tensor: unknown kernel path %q (want blocked or reference)", s)
+	}
+}
+
+func (p KernelPath) String() string {
+	if p == PathReference {
+		return "reference"
+	}
+	return "blocked"
+}
+
+// Register-blocking parameters. One packed B-panel is mmKBlock×mmColBlock
+// float64s = 16 KB, comfortably L1-resident alongside the A-row and C-row
+// traffic streaming past it.
+const (
+	mmColBlock = 8   // output columns per register-blocked pass
+	mmKBlock   = 256 // K-depth of one packed B-panel
+	// mmSmallB is the largest B (in float64s) the kernel streams directly
+	// from its natural layout: up to half of a 32 KB L1 it stays resident
+	// across all a-rows and packing would only add a copy. The model's
+	// 16-wide layers sit far below this.
+	mmSmallB = 2048
+)
+
+// matMulRowsBlocked OVERWRITES rows [lo, hi) of out with a·b — unlike the
+// accumulate-into-zeroed-out reference kernel, it ignores out's prior
+// contents, which lets MatMulInto skip the dst.Zero() pass (and the kernel
+// the read-back of those zeros) on the blocked path. The result is still
+// bit-identical to the reference on finite inputs: each out entry sums k in
+// ascending order from a +0 accumulator (the accumulators round-trip
+// through out between K-panels), and the av == 0 skips only ever omit
+// ±0-valued terms, which cannot change an accumulator that is never −0.
+//
+// Blocking scheme: for each 8-wide column block of b, pack successive
+// 256-deep K-panels of b contiguously, then stream every a-row against the
+// packed panel with 8 independent accumulator chains — the panel stays in
+// L1 across all rows, and the chains give the compiler ILP that the scalar
+// ikj loop's single dependent chain cannot.
+func matMulRowsBlocked(a, b, out *Matrix, lo, hi int) {
+	n := b.cols
+	kk := a.cols
+	if n == 0 {
+		return
+	}
+	if kk == 0 {
+		// Empty reduction: the product of the written rows is all zeros.
+		for i := lo; i < hi; i++ {
+			row := out.data[i*n : i*n+n]
+			for x := range row {
+				row[x] = 0
+			}
+		}
+		return
+	}
+	if kk*n <= mmSmallB {
+		matMulRowsSmallB(a, b, out, lo, hi)
+		return
+	}
+	var panel [mmKBlock * mmColBlock]float64
+	for jb := 0; jb < n; jb += mmColBlock {
+		jw := n - jb
+		if jw >= mmColBlock {
+			jw = mmColBlock
+		}
+		for kb := 0; kb < kk; kb += mmKBlock {
+			kw := kk - kb
+			if kw > mmKBlock {
+				kw = mmKBlock
+			}
+			for k := 0; k < kw; k++ {
+				src := b.data[(kb+k)*n+jb:]
+				dstp := panel[k*jw : k*jw+jw]
+				for x := range dstp {
+					dstp[x] = src[x]
+				}
+			}
+			pan := panel[: kw*jw : kw*jw]
+			if jw == mmColBlock {
+				for i := lo; i < hi; i++ {
+					arow := a.data[i*kk+kb : i*kk+kb+kw : i*kk+kb+kw]
+					od := i*n + jb
+					orow := out.data[od : od+mmColBlock : od+mmColBlock]
+					var c0, c1, c2, c3, c4, c5, c6, c7 float64
+					if kb > 0 {
+						c0, c1, c2, c3 = orow[0], orow[1], orow[2], orow[3]
+						c4, c5, c6, c7 = orow[4], orow[5], orow[6], orow[7]
+					}
+					for k, av := range arow {
+						// Same ±0 skip as the reference kernel: ReLU
+						// activations make A ~half zeros in the hidden
+						// layers, and omitted ±0 terms cannot change the
+						// (never −0) accumulators.
+						if av == 0 {
+							continue
+						}
+						p := pan[k*mmColBlock:]
+						c0 += av * p[0]
+						c1 += av * p[1]
+						c2 += av * p[2]
+						c3 += av * p[3]
+						c4 += av * p[4]
+						c5 += av * p[5]
+						c6 += av * p[6]
+						c7 += av * p[7]
+					}
+					orow[0], orow[1], orow[2], orow[3] = c0, c1, c2, c3
+					orow[4], orow[5], orow[6], orow[7] = c4, c5, c6, c7
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					arow := a.data[i*kk+kb : i*kk+kb+kw : i*kk+kb+kw]
+					od := i*n + jb
+					orow := out.data[od : od+jw : od+jw]
+					var acc [mmColBlock]float64
+					if kb > 0 {
+						copy(acc[:jw], orow)
+					}
+					for k, av := range arow {
+						if av == 0 {
+							continue
+						}
+						p := pan[k*jw : k*jw+jw : k*jw+jw]
+						for x, pv := range p {
+							acc[x] += av * pv
+						}
+					}
+					copy(orow, acc[:jw])
+				}
+			}
+		}
+	}
+}
+
+// matMulRowsSmallB is the no-packing variant of matMulRowsBlocked for
+// L1-resident B: the same 8-wide accumulator chains stream b's rows in
+// their natural layout, one full-K sweep per column block (ascending k, so
+// the summation order is unchanged). Overwrites out rows [lo, hi) like the
+// packed path.
+func matMulRowsSmallB(a, b, out *Matrix, lo, hi int) {
+	n := b.cols
+	kk := a.cols
+	for jb := 0; jb < n; jb += mmColBlock {
+		jw := n - jb
+		if jw >= mmColBlock {
+			jw = mmColBlock
+		}
+		if jw == mmColBlock {
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*kk : i*kk+kk : i*kk+kk]
+				var c0, c1, c2, c3, c4, c5, c6, c7 float64
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					p := b.data[k*n+jb : k*n+jb+mmColBlock : k*n+jb+mmColBlock]
+					c0 += av * p[0]
+					c1 += av * p[1]
+					c2 += av * p[2]
+					c3 += av * p[3]
+					c4 += av * p[4]
+					c5 += av * p[5]
+					c6 += av * p[6]
+					c7 += av * p[7]
+				}
+				od := i*n + jb
+				orow := out.data[od : od+mmColBlock : od+mmColBlock]
+				orow[0], orow[1], orow[2], orow[3] = c0, c1, c2, c3
+				orow[4], orow[5], orow[6], orow[7] = c4, c5, c6, c7
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*kk : i*kk+kk : i*kk+kk]
+				var acc [mmColBlock]float64
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					p := b.data[k*n+jb : k*n+jb+jw : k*n+jb+jw]
+					for x, pv := range p {
+						acc[x] += av * pv
+					}
+				}
+				od := i*n + jb
+				copy(out.data[od:od+jw], acc[:jw])
+			}
+		}
+	}
+}
+
+// matMulNTRowsBlocked accumulates rows [lo, hi) of dst += a·bᵀ. Four rows of
+// b are dotted against each a-row concurrently — four independent
+// accumulator chains, each summing j in ascending order exactly like the
+// reference kernel's one-at-a-time dot products.
+func matMulNTRowsBlocked(a, b, dst *Matrix, lo, hi int) {
+	w := a.cols
+	kn := b.rows
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*w : i*w+w : i*w+w]
+		drow := dst.data[i*kn : i*kn+kn : i*kn+kn]
+		k := 0
+		for ; k+4 <= kn; k += 4 {
+			b0 := b.data[k*w : k*w+w : k*w+w]
+			b1 := b.data[(k+1)*w : (k+1)*w+w : (k+1)*w+w]
+			b2 := b.data[(k+2)*w : (k+2)*w+w : (k+2)*w+w]
+			b3 := b.data[(k+3)*w : (k+3)*w+w : (k+3)*w+w]
+			var s0, s1, s2, s3 float64
+			for j, av := range arow {
+				s0 += av * b0[j]
+				s1 += av * b1[j]
+				s2 += av * b2[j]
+				s3 += av * b3[j]
+			}
+			drow[k] += s0
+			drow[k+1] += s1
+			drow[k+2] += s2
+			drow[k+3] += s3
+		}
+		for ; k < kn; k++ {
+			brow := b.data[k*w : k*w+w : k*w+w]
+			s := 0.0
+			for j, av := range arow {
+				s += av * brow[j]
+			}
+			drow[k] += s
+		}
+	}
+}
+
+// matMulTNRowsBlocked accumulates dst rows [lo, hi) of dst += aᵀ·b. The
+// outer loop stays over m (every dst entry must sum i in ascending order);
+// four dst rows are updated per pass so each loaded b-row is reused four
+// times from registers. The reference kernel's per-element av == 0 test — a
+// data-dependent branch in the second-innermost loop — is hoisted to one
+// all-four-zero test per block; the adds it stops skipping are all ±0-valued
+// and leave the (never −0) accumulators unchanged.
+func matMulTNRowsBlocked(a, b, dst *Matrix, lo, hi int) {
+	n := b.cols
+	kk := a.cols
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*kk : i*kk+kk : i*kk+kk]
+		brow := b.data[i*n : i*n+n : i*n+n]
+		k := lo
+		for ; k+4 <= hi; k += 4 {
+			av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+				// Dense block: one pass over the b-row feeds four
+				// independent rank-1 update chains.
+				d0 := dst.data[k*n : k*n+n : k*n+n]
+				d1 := dst.data[(k+1)*n : (k+1)*n+n : (k+1)*n+n]
+				d2 := dst.data[(k+2)*n : (k+2)*n+n : (k+2)*n+n]
+				d3 := dst.data[(k+3)*n : (k+3)*n+n : (k+3)*n+n]
+				for j, bv := range brow {
+					d0[j] += av0 * bv
+					d1[j] += av1 * bv
+					d2[j] += av2 * bv
+					d3[j] += av3 * bv
+				}
+				continue
+			}
+			// Sparse block: a is typically a ReLU activation matrix here
+			// (~half zeros), so pay one branch per row and run a plain axpy
+			// for each nonzero — the skipped ±0 updates cannot change the
+			// accumulators.
+			for kq := k; kq < k+4; kq++ {
+				av := arow[kq]
+				if av == 0 {
+					continue
+				}
+				drow := dst.data[kq*n : kq*n+n : kq*n+n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+		for ; k < hi; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[k*n : k*n+n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulKernel dispatches one row block of the a·b product to the active
+// path. Contract asymmetry: the reference kernel accumulates and requires
+// out rows [lo, hi) to be pre-zeroed; the blocked kernel overwrites them.
+// Callers (MatMul, MatMulInto) therefore only pay the zeroing pass on the
+// reference path.
+func matMulKernel(a, b, out *Matrix, lo, hi int) {
+	if ActiveKernelPath() == PathReference {
+		matMulRows(a, b, out, lo, hi)
+		return
+	}
+	matMulRowsBlocked(a, b, out, lo, hi)
+}
+
+// matMulNTKernel dispatches one row block of dst += a·bᵀ to the active path.
+func matMulNTKernel(a, b, dst *Matrix, lo, hi int) {
+	if ActiveKernelPath() == PathReference {
+		matMulNTRows(a, b, dst, lo, hi)
+		return
+	}
+	matMulNTRowsBlocked(a, b, dst, lo, hi)
+}
+
+// matMulTNKernel dispatches dst rows [lo, hi) of dst += aᵀ·b to the active path.
+func matMulTNKernel(a, b, dst *Matrix, lo, hi int) {
+	if ActiveKernelPath() == PathReference {
+		matMulTNRows(a, b, dst, lo, hi)
+		return
+	}
+	matMulTNRowsBlocked(a, b, dst, lo, hi)
+}

@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernel-equivalence property tests: the blocked kernels must match the
+// scalar reference kernels bit for bit (==, not ApproxEqual) over randomized
+// shapes, including degenerate 1×N / N×1 / empty dimensions and inputs
+// salted with exact ±0 entries (the only values where the two paths take
+// different instruction sequences).
+
+// saltedMatrix fills a rows×cols matrix with random values, forcing ~30% of
+// entries to exact zero (half of those −0) to exercise the reference path's
+// sparsity branches.
+func saltedMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	d := m.Data()
+	for i := range d {
+		switch r := rng.Float64(); {
+		case r < 0.15:
+			d[i] = 0
+		case r < 0.30:
+			d[i] = math.Copysign(0, -1)
+		default:
+			d[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// positiveSalted is saltedMatrix without −0 entries, for accumulation
+// destinations: real gradient buffers can never hold −0 (they start at +0
+// and only receive +=), and a −0 destination is the one place where the
+// hoisted TN sparsity check could legally differ from the per-element one.
+func positiveSalted(rows, cols int, rng *rand.Rand) *Matrix {
+	m := saltedMatrix(rows, cols, rng)
+	d := m.Data()
+	for i := range d {
+		if d[i] == 0 {
+			d[i] = 0 // normalizes −0 to +0
+		}
+	}
+	return m
+}
+
+func requireBitIdentical(t *testing.T, name string, want, got *Matrix) {
+	t.Helper()
+	if want.Rows() != got.Rows() || want.Cols() != got.Cols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, want.Rows(), want.Cols(), got.Rows(), got.Cols())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if math.Float64bits(wd[i]) != math.Float64bits(gd[i]) {
+			t.Fatalf("%s: entry %d differs: %x vs %x (%v vs %v)",
+				name, i, math.Float64bits(wd[i]), math.Float64bits(gd[i]), wd[i], gd[i])
+		}
+	}
+}
+
+// kernelShapes yields the randomized (m, k, n) triples shared by the matmul
+// equivalence tests: every combination of edge sizes around the block
+// boundaries plus random rectangles.
+func kernelShapes(rng *rand.Rand) [][3]int {
+	edge := []int{1, 2, 3, 5, 8, 9, 16, 17, 31, 64}
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 300, 1}, {1, 7, 40}, {40, 7, 1}, // 1×N and N×1 extremes
+		{3, 0, 4}, {0, 5, 3}, {4, 5, 0}, // empty dimensions
+		{33, 257, 9}, {5, 512, 8}, {2, 259, 17}, // K-panel boundary crossers
+	}
+	for i := 0; i < 24; i++ {
+		shapes = append(shapes, [3]int{
+			edge[rng.Intn(len(edge))],
+			edge[rng.Intn(len(edge))],
+			edge[rng.Intn(len(edge))],
+		})
+	}
+	return shapes
+}
+
+func withPath(t *testing.T, p KernelPath, fn func()) {
+	t.Helper()
+	old := ActiveKernelPath()
+	SetKernelPath(p)
+	defer SetKernelPath(old)
+	fn()
+}
+
+func TestKernelEquivalenceMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, sh := range kernelShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := saltedMatrix(m, k, rng)
+		b := saltedMatrix(k, n, rng)
+
+		ref := New(m, n)
+		matMulRows(a, b, ref, 0, m)
+		blk := New(m, n)
+		matMulRowsBlocked(a, b, blk, 0, m)
+		requireBitIdentical(t, "matMulRowsBlocked", ref, blk)
+
+		// The public entry points under both paths, including the parallel
+		// fan-out for large shapes.
+		var viaRef, viaBlk *Matrix
+		withPath(t, PathReference, func() { viaRef = MatMul(a, b) })
+		withPath(t, PathBlocked, func() { viaBlk = MatMul(a, b) })
+		requireBitIdentical(t, "MatMul paths", viaRef, viaBlk)
+
+		// MatMulInto must yield the product regardless of dst's prior
+		// contents on both paths (blocked overwrites, reference re-zeroes).
+		intoB := saltedMatrix(m, n, rng)
+		withPath(t, PathBlocked, func() { MatMulInto(intoB, a, b) })
+		requireBitIdentical(t, "MatMulInto blocked", viaRef, intoB)
+		intoR := saltedMatrix(m, n, rng)
+		withPath(t, PathReference, func() { MatMulInto(intoR, a, b) })
+		requireBitIdentical(t, "MatMulInto reference", viaRef, intoR)
+	}
+}
+
+func TestKernelEquivalenceMatMulNT(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, sh := range kernelShapes(rng) {
+		m, w, k := sh[0], sh[1], sh[2]
+		a := saltedMatrix(m, w, rng)
+		b := saltedMatrix(k, w, rng)
+		seed := saltedMatrix(m, k, rng) // NT has no sparsity skip: any dst is fair
+
+		ref := seed.Clone()
+		matMulNTRows(a, b, ref, 0, m)
+		blk := seed.Clone()
+		matMulNTRowsBlocked(a, b, blk, 0, m)
+		requireBitIdentical(t, "matMulNTRowsBlocked", ref, blk)
+
+		viaRef, viaBlk := seed.Clone(), seed.Clone()
+		withPath(t, PathReference, func() { MatMulNTAddInto(viaRef, a, b) })
+		withPath(t, PathBlocked, func() { MatMulNTAddInto(viaBlk, a, b) })
+		requireBitIdentical(t, "MatMulNTAddInto paths", viaRef, viaBlk)
+	}
+}
+
+func TestKernelEquivalenceMatMulTN(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, sh := range kernelShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := saltedMatrix(m, k, rng)
+		b := saltedMatrix(m, n, rng)
+		seed := positiveSalted(k, n, rng)
+
+		ref := seed.Clone()
+		matMulTNRows(a, b, ref, 0, k)
+		blk := seed.Clone()
+		matMulTNRowsBlocked(a, b, blk, 0, k)
+		requireBitIdentical(t, "matMulTNRowsBlocked", ref, blk)
+
+		viaRef, viaBlk := seed.Clone(), seed.Clone()
+		withPath(t, PathReference, func() { MatMulTNAddInto(viaRef, a, b) })
+		withPath(t, PathBlocked, func() { MatMulTNAddInto(viaBlk, a, b) })
+		requireBitIdentical(t, "MatMulTNAddInto paths", viaRef, viaBlk)
+	}
+}
+
+// randomEdges draws m random edges into nseg segments from nsrc source rows,
+// leaving some segments empty and some sources isolated by construction.
+func randomEdges(nsrc, nseg, m int, rng *rand.Rand) (src, dst []int) {
+	src = make([]int, m)
+	dst = make([]int, m)
+	for e := 0; e < m; e++ {
+		src[e] = rng.Intn(nsrc)
+		dst[e] = rng.Intn(nseg)
+	}
+	return src, dst
+}
+
+// TestCSRAggregateKernelMatchesScatter checks the raw CSR forward kernel
+// against the unfused Gather→scale→ScatterAddRows sequence, bit for bit,
+// over random graphs including empty segments and isolated nodes.
+func TestCSRAggregateKernelMatchesScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cases := []struct{ nsrc, nseg, m, c int }{
+		{1, 1, 1, 1}, {1, 5, 4, 3}, {8, 3, 20, 16}, {30, 40, 12, 7},
+		{16, 16, 0, 5}, {6, 9, 200, 16}, {50, 50, 120, 1},
+	}
+	for _, tc := range cases {
+		src, dst := randomEdges(tc.nsrc, tc.nseg, tc.m, rng)
+		a := saltedMatrix(tc.nsrc, tc.c, rng)
+		coef := make([]float64, tc.m)
+		for i := range coef {
+			coef[i] = rng.NormFloat64()
+		}
+		csr := NewCSR(tc.nseg, src, dst)
+
+		// Unfused: materialize the scaled message matrix, then scatter.
+		msg := Gather(a, src)
+		for e := 0; e < tc.m; e++ {
+			row := msg.Row(e)
+			for j := range row {
+				row[j] = coef[e] * row[j]
+			}
+		}
+		want := New(tc.nseg, tc.c)
+		ScatterAddRows(want, msg, dst)
+
+		// The kernel overwrites: a garbage-prefilled dst must still yield
+		// the aggregation (empty segments zeroed, −0 first terms
+		// canonicalized to +0 like the unfused chain's +0 accumulators).
+		got := saltedMatrix(tc.nseg, tc.c, rng)
+		CSRAggregateInto(got, a, csr, coef)
+		requireBitIdentical(t, "CSRAggregateInto", want, got)
+
+		// Unweighted variant against a plain scatter of the gathered rows.
+		wantU := New(tc.nseg, tc.c)
+		ScatterAddRows(wantU, Gather(a, src), dst)
+		gotU := saltedMatrix(tc.nseg, tc.c, rng)
+		CSRAggregateInto(gotU, a, csr, nil)
+		requireBitIdentical(t, "CSRAggregateInto unweighted", wantU, gotU)
+	}
+}
+
+// TestCSRGroupingStable pins the CSR layout contract: slots grouped by
+// destination, original edge order within each segment, empty segments
+// skipped.
+func TestCSRGroupingStable(t *testing.T) {
+	//            e0     e1     e2     e3     e4
+	src := []int{3, 1, 4, 1, 5}
+	dst := []int{2, 0, 2, 2, 0}
+	csr := NewCSR(4, src, dst)
+	if csr.NSeg != 4 || csr.NumEdges() != 5 {
+		t.Fatalf("NSeg=%d NumEdges=%d", csr.NSeg, csr.NumEdges())
+	}
+	wantSegs := []int{0, 2}
+	wantStarts := []int{0, 2, 5}
+	wantSrcs := []int{1, 5, 3, 4, 1}  // seg 0: e1,e4; seg 2: e0,e2,e3
+	wantEdges := []int{1, 4, 0, 2, 3} // ascending within each segment
+	for i, v := range wantSegs {
+		if csr.Segs[i] != v {
+			t.Fatalf("Segs=%v want %v", csr.Segs, wantSegs)
+		}
+	}
+	for i, v := range wantStarts {
+		if csr.Starts[i] != v {
+			t.Fatalf("Starts=%v want %v", csr.Starts, wantStarts)
+		}
+	}
+	for i := range wantSrcs {
+		if csr.Srcs[i] != wantSrcs[i] || csr.Edges[i] != wantEdges[i] {
+			t.Fatalf("Srcs=%v Edges=%v want %v %v", csr.Srcs, csr.Edges, wantSrcs, wantEdges)
+		}
+	}
+}

@@ -85,17 +85,18 @@ func MatMul(a, b *Matrix) *Matrix {
 	out := New(a.rows, b.cols)
 	workers := matMulWorkers(a.rows, a.cols, b.cols)
 	if workers <= 1 {
-		matMulRows(a, b, out, 0, a.rows)
+		matMulKernel(a, b, out, 0, a.rows)
 		return out
 	}
 	parallelRowBlocks(a.rows, workers, func(lo, hi int) {
-		matMulRows(a, b, out, lo, hi)
+		matMulKernel(a, b, out, lo, hi)
 	})
 	return out
 }
 
-// matMulRows computes rows [lo, hi) of out = a·b with an ikj loop order
-// for cache-friendly access to b and out rows.
+// matMulRows is the scalar reference kernel for rows [lo, hi) of
+// out += a·b: an ikj loop order for cache-friendly access to b and out rows,
+// with a per-element sparsity skip on a.
 func matMulRows(a, b, out *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]

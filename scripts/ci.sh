@@ -66,6 +66,35 @@ for row in lumos-sim-trace lumos-sim-telemetry examples/energystudy; do
 	fi
 done
 
+# Kernel gates, re-run by name so a renamed or skipped guard fails loudly:
+# the blocked-vs-reference equivalence property tests under the race
+# detector (both matmul paths and the fused CSR aggregation, bit-for-bit),
+# the end-to-end both-paths trainer comparison, the golden-trace re-check on
+# the blocked+fused default, and a lumos-train smoke row forced onto the
+# reference path.
+kern_out=$(go test -race -run 'TestKernelEquivalence|TestCSRAggregate' -count=1 -v ./internal/tensor ./internal/autodiff)
+kpath_out=$(go test -run 'TestKernelPathsBitIdentical' -count=1 -v ./internal/core)
+golden_out=$(go test -run 'TestTrainersMatchPreSessionGoldens' -count=1 -v ./internal/core)
+ksmoke_out=$(go test -run 'TestEntryPointsBuildAndRun/lumos-train-kernels-reference' -count=1 -v .)
+for gate in \
+	"TestKernelEquivalenceMatMul:$kern_out" \
+	"TestKernelEquivalenceMatMulNT:$kern_out" \
+	"TestKernelEquivalenceMatMulTN:$kern_out" \
+	"TestCSRAggregateKernelMatchesScatter:$kern_out" \
+	"TestCSRAggregateMatchesUnfused:$kern_out" \
+	"TestCSRAggregateMulMatchesUnfused:$kern_out" \
+	"TestKernelPathsBitIdentical:$kpath_out" \
+	"TestTrainersMatchPreSessionGoldens:$golden_out" \
+	"TestEntryPointsBuildAndRun/lumos-train-kernels-reference:$ksmoke_out"; do
+	name=${gate%%:*}
+	out=${gate#*:}
+	if ! grep -q -- "--- PASS: $name" <<<"$out"; then
+		echo "kernel gate $name did not pass:" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+done
+
 # Serving-loop gates, re-run by name so a renamed or skipped guard fails
 # loudly: the checkpoint/snapshot corruption tables (corrupt files must fail
 # with bounded allocation), the hot-swap race suite, and the CLI-level

@@ -55,6 +55,12 @@ var entryPoints = []struct {
 	// hatch so the -notapereuse path cannot rot.
 	{pkg: "./cmd/lumos-train", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-epochs", "2", "-mcmc", "10", "-notapereuse"}},
+	// The scalar-reference kernel path stays runnable from the CLI: same
+	// tiny run forced onto -kernels reference (results identical to the
+	// blocked default; the equivalence gates in scripts/ci.sh prove it).
+	{pkg: "./cmd/lumos-train", name: "lumos-train-kernels-reference", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-epochs", "2", "-mcmc", "10",
+		"-kernels", "reference"}},
 	{pkg: "./examples/churnstudy", run: true, args: []string{
 		"-n", "60", "-m", "240", "-rounds", "6", "-mcmc", "10"}},
 	// energystudy enforces its energy-monotone-in-participation invariant
