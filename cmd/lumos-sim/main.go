@@ -20,6 +20,9 @@
 //	lumos-sim -task unsupervised -churn 0.2 -sched async
 //	lumos-sim -fleet periodic -participation 0.5 -sched async -staleness 2
 //	lumos-sim -fleet trace:fleet.csv -agg-capacity 2e6 -rounds 20
+//	lumos-sim -sched gossip -topology ring:4 -rounds 20
+//	lumos-sim -sched gossip -topology ba:2 -link-discipline fifo
+//	lumos-sim -participation-policy energy -energy-budget 0.5
 //	lumos-sim -sched both -rounds 20 -csv
 //	lumos-sim -rounds 20 -trace out.trace.json   # open in Perfetto (ui.perfetto.dev)
 package main
@@ -40,6 +43,7 @@ import (
 	"lumos/internal/nn"
 	"lumos/internal/obs"
 	"lumos/internal/sim"
+	"lumos/internal/topo"
 )
 
 func main() {
@@ -57,8 +61,12 @@ func main() {
 		rejoin    = flag.Float64("rejoin", 0.5, "per-round probability an offline device returns")
 		partic    = flag.Float64("participation", 0.8, "fraction of available devices sampled per round")
 		rounds    = flag.Int("rounds", 20, "training rounds to simulate")
-		sched     = flag.String("sched", "sync", "round scheduling: sync|async|both")
+		sched     = flag.String("sched", "sync", "round scheduling: sync|async|gossip|both")
 		stale     = flag.Int("staleness", 2, "async gradient staleness bound in rounds")
+		topoSpec  = flag.String("topology", "", "gossip contact graph: ring[:k]|k-regular:<k>|ba:<m>|complete|file:<path> (required with -sched gossip)")
+		linkDisc  = flag.String("link-discipline", "", "gossip link queueing: ps (default)|fifo")
+		policy    = flag.String("participation-policy", "uniform", "participation policy: uniform|energy (skip devices over the per-round energy budget)")
+		budget    = flag.Float64("energy-budget", 0, "energy policy per-round per-device budget, joules (0 = fleet mean projected spend)")
 		ttl       = flag.Int("ttl", 2, "rounds an absent device's cached embeddings keep serving")
 		evalEvery = flag.Int("eval-every", 5, "evaluate the test metric every k rounds")
 		selection = flag.Bool("select", false, "round-driven model selection: keep the best validation-metric snapshot")
@@ -120,7 +128,29 @@ func main() {
 		Churn: *churn, Rejoin: *rejoin, Participation: *partic,
 		Rounds: *rounds, PartialTTL: *ttl, EvalEvery: *evalEvery,
 		ModelSelection: *selection,
+		LinkDiscipline: *linkDisc,
+		Policy:         sim.Policy(strings.ToLower(*policy)),
+		EnergyBudget:   *budget,
 		Seed:           *seed,
+	}
+	gossipRun := false
+	for _, m := range scheds {
+		gossipRun = gossipRun || m == core.SchedGossip
+	}
+	if gossipRun && *topoSpec == "" {
+		fatalf("-sched gossip needs a -topology (ring[:k]|k-regular:<k>|ba:<m>|complete|file:<path>)")
+	}
+	if *topoSpec != "" {
+		if !gossipRun {
+			fatalf("-topology requires -sched gossip")
+		}
+		spec, err := topo.ParseSpec(*topoSpec)
+		check(err)
+		tp, err := spec.Build(g.N, *seed)
+		check(err)
+		scenario.Topology = tp
+		fmt.Printf("topology %s: %d nodes, %d edges, connected=%v\n",
+			tp.Name(), tp.N(), tp.NumEdges(), tp.Connected())
 	}
 	if *aggCap != 0 {
 		cost := fed.DefaultCostModel()

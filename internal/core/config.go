@@ -34,6 +34,13 @@ const (
 	// Scheduling is simulated deterministically (delays derive from the
 	// shard workload ranking), so training remains reproducible.
 	SchedAsync
+	// SchedGossip is decentralized scheduling: there is no aggregator, and
+	// devices average model deltas with their contact-graph neighbors using
+	// Metropolis–Hastings weights. The core engine itself runs each device's
+	// local step synchronously (gossip has no delayed-gradient queue); the
+	// decentralized exchange is orchestrated by internal/sim over per-device
+	// model replicas (see System.NewReplica) and a sim.Scenario.Topology.
+	SchedGossip
 )
 
 // String names the scheduling mode.
@@ -43,6 +50,8 @@ func (s Sched) String() string {
 		return "sync"
 	case SchedAsync:
 		return "async"
+	case SchedGossip:
+		return "gossip"
 	default:
 		return fmt.Sprintf("Sched(%d)", int(s))
 	}
@@ -55,8 +64,10 @@ func ParseSched(name string) (Sched, error) {
 		return SchedSync, nil
 	case "async", "staleness":
 		return SchedAsync, nil
+	case "gossip":
+		return SchedGossip, nil
 	default:
-		return 0, fmt.Errorf("core: unknown scheduling mode %q (want sync|async)", name)
+		return 0, fmt.Errorf("core: unknown scheduling mode %q (want sync|async|gossip)", name)
 	}
 }
 
@@ -298,6 +309,12 @@ func (c *Config) Validate() error {
 		}
 		if c.Staleness < 0 {
 			return fmt.Errorf("core: negative staleness bound %d", c.Staleness)
+		}
+	case SchedGossip:
+		// Gossip exchanges whole-model deltas each round; there is no
+		// delayed-gradient queue for a staleness bound to govern.
+		if c.Staleness != 0 {
+			return fmt.Errorf("core: Staleness=%d requires Sched=SchedAsync", c.Staleness)
 		}
 	default:
 		return fmt.Errorf("core: unknown scheduling mode %v", c.Sched)

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"lumos/internal/nn"
+	"lumos/internal/tensor"
+)
+
+// A Replica is one device's private copy of the shared model: every
+// trainable weight plus the device's own Adam state (step count and
+// moments). Replicas are the multi-model substrate behind decentralized
+// (gossip) training, where no central aggregator holds "the" model — the
+// simulator keeps one replica per device, loads it into the System to run
+// that device's local step, stores the result back, and mixes neighbors'
+// replicas with MixReplicas.
+//
+// A replica never aliases live training state: Load and Store copy in both
+// directions, so replicas can be held across rounds, cloned for
+// best-snapshot tracking, and mixed freely.
+type Replica struct {
+	weights []*tensor.Matrix
+	opt     *nn.OptState
+}
+
+// NewReplica captures the system's current weights and optimizer state as a
+// fresh replica — the seed state every device starts gossip training from.
+func (s *System) NewReplica() *Replica {
+	return &Replica{
+		weights: nn.Snapshot(s),
+		opt:     s.opt.CaptureState(s.Params()),
+	}
+}
+
+// LoadReplica installs the replica into the system: weights are copied into
+// the model parameters and the optimizer's state becomes the replica's.
+// After this, Session.StepRound trains exactly as if the system had always
+// held this replica.
+func (s *System) LoadReplica(r *Replica) error {
+	params := s.Params()
+	if len(r.weights) != len(params) {
+		return fmt.Errorf("core: replica has %d tensors for %d params", len(r.weights), len(params))
+	}
+	nn.Restore(s, r.weights)
+	s.opt.RestoreState(params, r.opt)
+	return nil
+}
+
+// StoreReplica copies the system's current weights and optimizer state back
+// into the replica, reusing its weight buffers.
+func (s *System) StoreReplica(r *Replica) error {
+	params := s.Params()
+	if len(r.weights) != len(params) {
+		return fmt.Errorf("core: replica has %d tensors for %d params", len(r.weights), len(params))
+	}
+	for i, p := range params {
+		r.weights[i].CopyFrom(p.V.Data)
+	}
+	r.opt = s.opt.CaptureState(params)
+	return nil
+}
+
+// Clone deep-copies the replica — used for best-validation snapshot
+// tracking across gossip rounds.
+func (r *Replica) Clone() *Replica {
+	w := make([]*tensor.Matrix, len(r.weights))
+	for i, m := range r.weights {
+		w[i] = m.Clone()
+	}
+	return &Replica{weights: w, opt: r.opt}
+}
+
+// MixReplicas overwrites dst's weights with the weighted sum
+// Σ ws[i]·srcs[i] — the neighbor-averaging step of gossip training. The sum
+// runs in slice order, so callers control the floating-point reduction
+// order exactly (the determinism contract: pass sources in a frozen order,
+// e.g. self first, then neighbors ascending). Adam's moments mix with the
+// same weights into a fresh state (nn.MixOptStates) — without moment
+// averaging, per-device sign-normalized steps cancel in the consensus mean
+// and decentralized training stalls; the step count adopts srcs[0]'s, by
+// convention the device's own post-step half. dst must not appear in srcs:
+// its weights are overwritten while sources are still being read.
+func MixReplicas(dst *Replica, srcs []*Replica, ws []float64) error {
+	if len(srcs) == 0 || len(srcs) != len(ws) {
+		return fmt.Errorf("core: mixing %d replicas with %d weights", len(srcs), len(ws))
+	}
+	for _, s := range srcs {
+		if s == dst {
+			return fmt.Errorf("core: mix destination aliases a source")
+		}
+		if len(s.weights) != len(dst.weights) {
+			return fmt.Errorf("core: mixing replicas of different shapes")
+		}
+	}
+	for i, out := range dst.weights {
+		od := out.Data()
+		s0 := srcs[0].weights[i].Data()
+		w0 := ws[0]
+		for k := range od {
+			od[k] = w0 * s0[k]
+		}
+		for j := 1; j < len(srcs); j++ {
+			sd := srcs[j].weights[i].Data()
+			wj := ws[j]
+			for k := range od {
+				od[k] += wj * sd[k]
+			}
+		}
+	}
+	states := make([]*nn.OptState, len(srcs))
+	for i, s := range srcs {
+		states[i] = s.opt
+	}
+	st, err := nn.MixOptStates(states, ws)
+	if err != nil {
+		return err
+	}
+	dst.opt = st
+	return nil
+}

@@ -51,6 +51,11 @@ type Options struct {
 	Sched core.Sched
 	// Staleness is the async gradient-staleness bound (SchedAsync only).
 	Staleness int
+	// Topology, when non-empty, adds a decentralized (gossip) run per
+	// dataset to the scenario-simulation timeline: a topo.ParseSpec string
+	// ("ring:4", "ba:2", "complete", "file:<path>") built over each
+	// dataset's device count with the run seed.
+	Topology string
 	// NoTapeReuse disables the per-shard autodiff tape recycling in every
 	// trainer (fresh tape per epoch — the debugging escape hatch; results
 	// are identical either way).

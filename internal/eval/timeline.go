@@ -6,6 +6,7 @@ import (
 
 	"lumos/internal/core"
 	"lumos/internal/sim"
+	"lumos/internal/topo"
 )
 
 // This runner replaces the single-number fed.CostModel estimate that Fig. 8
@@ -45,7 +46,9 @@ type SimTimelineResult struct {
 // RunSimTimeline simulates the scenario once per scheduling discipline per
 // configured dataset (Options.Task objective, first configured backbone),
 // with one device per shard so participation is exact. The async runs use
-// Options.Staleness when set (default 2).
+// Options.Staleness when set (default 2); when Options.Topology is set, a
+// decentralized gossip run over that contact graph joins the sync and async
+// rows.
 func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -54,6 +57,10 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 	staleness := opts.Staleness
 	if staleness == 0 {
 		staleness = 2
+	}
+	scheds := []core.Sched{core.SchedSync, core.SchedAsync}
+	if opts.Topology != "" {
+		scheds = append(scheds, core.SchedGossip)
 	}
 	var out []SimTimelineResult
 	for _, ds := range opts.Datasets {
@@ -68,7 +75,7 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		for _, sched := range []core.Sched{core.SchedSync, core.SchedAsync} {
+		for _, sched := range scheds {
 			cfg := core.Config{
 				Task: opts.Task, Backbone: bb,
 				Epsilon: opts.Epsilon, Epochs: opts.Epochs,
@@ -82,11 +89,23 @@ func RunSimTimeline(opts Options, sc sim.Scenario) ([]SimTimelineResult, error) 
 			if sched == core.SchedAsync {
 				cfg.Staleness = staleness
 			}
+			dsc := sc
+			if sched == core.SchedGossip {
+				spec, err := topo.ParseSpec(opts.Topology)
+				if err != nil {
+					return nil, err
+				}
+				tp, err := spec.Build(g.N, opts.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("eval: timeline %s/gossip: %w", ds, err)
+				}
+				dsc.Topology = tp
+			}
 			sys, err := core.NewSystem(trainGraph, g, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("eval: timeline %s/%s: %w", ds, sched, err)
 			}
-			simulator, err := sim.New(sys, sc)
+			simulator, err := sim.New(sys, dsc)
 			if err != nil {
 				return nil, err
 			}

@@ -84,6 +84,17 @@ func (c CostModel) Energy(computeSeconds, powerMult float64, radioBytes int64) f
 	return computeSeconds*c.DevicePowerWatts*powerMult + float64(radioBytes)*c.RadioEnergyPerByte
 }
 
+// LinkBytesPerSecond is the effective rate of a direct device-to-device link
+// whose endpoints carry bandwidth multipliers bwA and bwB: the nominal
+// per-device rate scaled by the bottleneck endpoint. Gossip scheduling prices
+// each contact-graph edge with it.
+func (c CostModel) LinkBytesPerSecond(bwA, bwB float64) float64 {
+	if bwB < bwA {
+		bwA = bwB
+	}
+	return c.BytesPerSecond * bwA
+}
+
 // EpochTime estimates one synchronous epoch's wall time:
 //
 //	max_v(compute_v) + latency·(serial message rounds) + bytes/bandwidth

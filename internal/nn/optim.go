@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"lumos/internal/autodiff"
@@ -69,6 +70,110 @@ func (o *Adam) Step(params []*Param) {
 			wd[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
 		}
 	}
+}
+
+// OptState is a detached copy of an Adam optimizer's full state — step
+// count plus first/second moments — over a fixed parameter list. It is what
+// lets one optimizer instance serve many model replicas (gossip training
+// keeps one per device): capture after stepping one replica, restore before
+// stepping the next. Entries are aligned with the parameter slice passed to
+// CaptureState; a nil moment means the parameter had never been stepped.
+type OptState struct {
+	t    int
+	m, v []*tensor.Matrix
+}
+
+// StepCount returns the captured update count.
+func (st *OptState) StepCount() int { return st.t }
+
+// CaptureState deep-copies the optimizer's state for the given parameters.
+// The copy is independent: later Steps do not mutate it.
+func (o *Adam) CaptureState(params []*Param) *OptState {
+	st := &OptState{t: o.t, m: make([]*tensor.Matrix, len(params)), v: make([]*tensor.Matrix, len(params))}
+	for i, p := range params {
+		if m, ok := o.m[p.V]; ok {
+			st.m[i] = m.Clone()
+		}
+		if v, ok := o.v[p.V]; ok {
+			st.v[i] = v.Clone()
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the optimizer's state for the given parameters
+// with a captured copy. params must be the same list (same order, same
+// length) the state was captured over. The state is copied in, not aliased,
+// so one OptState can be restored any number of times; a nil captured
+// moment clears the live one (the parameter becomes never-stepped again).
+func (o *Adam) RestoreState(params []*Param, st *OptState) {
+	if len(params) != len(st.m) {
+		panic(fmt.Sprintf("nn: optimizer state captured over %d params, restoring %d", len(st.m), len(params)))
+	}
+	o.t = st.t
+	for i, p := range params {
+		restoreMoment(o.m, p.V, st.m[i])
+		restoreMoment(o.v, p.V, st.v[i])
+	}
+}
+
+// MixOptStates returns the weighted sum of captured optimizer states — the
+// moment half of decentralized neighbor averaging. Mixing moments alongside
+// weights is what makes gossip-averaged Adam converge: each device's first
+// moment then carries its neighborhood's averaged gradient signal (per-device
+// gradient noise cancels in the mean), so local steps pull toward the
+// consensus descent direction instead of each device's own noise. Step
+// counts don't average meaningfully; the result adopts srcs[0]'s (by
+// convention the device's own). A nil captured moment is a zero matrix; the
+// result's moment is nil only where every source's is.
+func MixOptStates(srcs []*OptState, ws []float64) (*OptState, error) {
+	if len(srcs) == 0 || len(srcs) != len(ws) {
+		return nil, fmt.Errorf("nn: mixing %d optimizer states with %d weights", len(srcs), len(ws))
+	}
+	k := len(srcs[0].m)
+	for _, s := range srcs {
+		if len(s.m) != k || len(s.v) != k {
+			return nil, fmt.Errorf("nn: mixing optimizer states of different shapes")
+		}
+	}
+	return &OptState{
+		t: srcs[0].t,
+		m: mixMoments(srcs, ws, func(s *OptState) []*tensor.Matrix { return s.m }, k),
+		v: mixMoments(srcs, ws, func(s *OptState) []*tensor.Matrix { return s.v }, k),
+	}, nil
+}
+
+// mixMoments accumulates one moment slice's weighted sum in source slice
+// order — the same frozen reduction order the weight mix uses.
+func mixMoments(srcs []*OptState, ws []float64, pick func(*OptState) []*tensor.Matrix, k int) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, k)
+	for i := 0; i < k; i++ {
+		var acc *tensor.Matrix
+		for j, s := range srcs {
+			mj := pick(s)[i]
+			if mj == nil {
+				continue
+			}
+			if acc == nil {
+				acc = tensor.New(mj.Rows(), mj.Cols())
+			}
+			tensor.AddScaledInPlace(acc, ws[j], mj)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func restoreMoment(dst map[*autodiff.Value]*tensor.Matrix, key *autodiff.Value, src *tensor.Matrix) {
+	if src == nil {
+		delete(dst, key)
+		return
+	}
+	if cur, ok := dst[key]; ok {
+		cur.CopyFrom(src)
+		return
+	}
+	dst[key] = src.Clone()
 }
 
 // Reset clears optimizer state (moments and step count).

@@ -117,3 +117,87 @@ func TestAdamFirstStepMagnitude(t *testing.T) {
 		}
 	}
 }
+
+// Capture/restore must make one Adam instance serve two independent
+// training trajectories (the per-device replica pattern): interleaving two
+// captured states produces bit-identical weights to two separate
+// optimizers.
+func TestAdamCaptureRestoreIndependentTrajectories(t *testing.T) {
+	step := func(w *Param, opt *Adam, target float64) {
+		loss := quadratic(w, target)
+		ZeroGrad(singleParam{w})
+		loss.Backward()
+		opt.Step([]*Param{w})
+	}
+	// Reference: two private optimizers.
+	wa := &Param{Name: "w", V: autodiff.Var(tensor.FromRows([][]float64{{5, -3}}))}
+	wb := &Param{Name: "w", V: autodiff.Var(tensor.FromRows([][]float64{{5, -3}}))}
+	oa, ob := NewAdam(0.1), NewAdam(0.1)
+	for i := 0; i < 20; i++ {
+		step(wa, oa, 2)
+		step(wb, ob, -4)
+	}
+
+	// One shared optimizer + one shared parameter, two replicas swapped
+	// through capture/restore.
+	w := &Param{Name: "w", V: autodiff.Var(tensor.FromRows([][]float64{{5, -3}}))}
+	o := NewAdam(0.1)
+	params := []*Param{w}
+	weightsA := w.V.Data.Clone()
+	weightsB := w.V.Data.Clone()
+	stA := o.CaptureState(params)
+	stB := o.CaptureState(params)
+	for i := 0; i < 20; i++ {
+		w.V.Data.CopyFrom(weightsA)
+		o.RestoreState(params, stA)
+		step(w, o, 2)
+		weightsA.CopyFrom(w.V.Data)
+		stA = o.CaptureState(params)
+
+		w.V.Data.CopyFrom(weightsB)
+		o.RestoreState(params, stB)
+		step(w, o, -4)
+		weightsB.CopyFrom(w.V.Data)
+		stB = o.CaptureState(params)
+	}
+	for i, want := range wa.V.Data.Data() {
+		if got := weightsA.Data()[i]; got != want {
+			t.Fatalf("trajectory A diverged at %d: %v != %v", i, got, want)
+		}
+	}
+	for i, want := range wb.V.Data.Data() {
+		if got := weightsB.Data()[i]; got != want {
+			t.Fatalf("trajectory B diverged at %d: %v != %v", i, got, want)
+		}
+	}
+	if stA.StepCount() != 20 || stB.StepCount() != 20 {
+		t.Fatalf("captured step counts %d/%d, want 20", stA.StepCount(), stB.StepCount())
+	}
+}
+
+// A captured state is detached: stepping after capture must not mutate it,
+// and restoring a never-stepped state clears the moments.
+func TestAdamCaptureStateDetached(t *testing.T) {
+	w := &Param{Name: "w", V: autodiff.Var(tensor.FromRows([][]float64{{3}}))}
+	o := NewAdam(0.1)
+	params := []*Param{w}
+	fresh := o.CaptureState(params) // never stepped: nil moments, t=0
+	loss := quadratic(w, 0)
+	loss.Backward()
+	o.Step(params)
+	mid := o.CaptureState(params)
+	loss2 := quadratic(w, 0)
+	ZeroGrad(singleParam{w})
+	loss2.Backward()
+	o.Step(params)
+	if o.StepCount() != 2 || mid.StepCount() != 1 {
+		t.Fatalf("step counts: live %d (want 2), captured %d (want 1)", o.StepCount(), mid.StepCount())
+	}
+	o.RestoreState(params, fresh)
+	if o.StepCount() != 0 {
+		t.Fatalf("restored fresh state has t=%d", o.StepCount())
+	}
+	if len(o.m) != 0 || len(o.v) != 0 {
+		t.Fatalf("restoring a never-stepped state left %d/%d moments", len(o.m), len(o.v))
+	}
+}

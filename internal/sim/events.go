@@ -14,9 +14,12 @@ const (
 	evComputeDone
 	// evArrival fires when a device's update lands at the aggregator.
 	evArrival
+	// evDelta fires when a gossip model delta is delivered to a neighbor
+	// (gossip scheduling only; device is the receiver).
+	evDelta
 )
 
-var eventNames = [...]string{"leave", "join", "compute-done", "arrival"}
+var eventNames = [...]string{"leave", "join", "compute-done", "arrival", "delta"}
 
 // String names the event kind.
 func (k eventKind) String() string {

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lumos/internal/core"
+	"lumos/internal/graph"
+	"lumos/internal/topo"
+)
+
+// gossipSystem assembles a small supervised system scheduled for gossip —
+// one device per shard, like simSystem, but sized down because every gossip
+// round drives one engine round per participant.
+func gossipSystem(t testing.TB, workers int, seed int64) (*core.System, *graph.NodeSplit) {
+	t.Helper()
+	return smallSystem(t, core.SchedGossip, workers, seed)
+}
+
+func smallSystem(t testing.TB, sched core.Sched, workers int, seed int64) (*core.System, *graph.NodeSplit) {
+	t.Helper()
+	g, err := graph.Generate(graph.GenConfig{
+		Name: "gossip", N: 16, M: 70, Classes: 2, FeatureDim: 8,
+		PowerLaw: 2.2, Homophily: 0.85, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := graph.SplitNodes(g, 0.5, 0.25, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, g, core.Config{
+		Task: core.Supervised, MCMCIterations: 10, Shards: g.N,
+		Sched: sched, Workers: workers, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, split
+}
+
+func mustTopo(t testing.TB, spec string, n int, seed int64) *topo.Topology {
+	t.Helper()
+	sp, err := topo.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := sp.Build(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func runGossipScenario(t testing.TB, workers int, sc Scenario) *Result {
+	t.Helper()
+	sys, split := gossipSystem(t, workers, 31)
+	sc.Topology = mustTopo(t, "ring:4", sys.G.N, 31)
+	sim, err := New(sys, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(core.NewSupervisedObjective(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The decentralized timeline is bit-identical in the worker count: same
+// seed, same scenario — DeepEqual timelines for Workers 1 vs 8, and across
+// repeated runs.
+func TestGossipDeterminismAcrossWorkers(t *testing.T) {
+	sc := Scenario{
+		Fleet: FleetZipf, Rounds: 4, Churn: 0.2, Participation: 0.8,
+		EvalEvery: 2, Seed: 7,
+	}
+	base := runGossipScenario(t, 1, sc)
+	for _, workers := range []int{1, 8} {
+		res := runGossipScenario(t, workers, sc)
+		if !reflect.DeepEqual(base.Timeline, res.Timeline) {
+			t.Fatalf("gossip timeline differs at workers=%d", workers)
+		}
+		if base.FinalMetric != res.FinalMetric {
+			t.Fatalf("final metric drifted at workers=%d: %v vs %v",
+				workers, res.FinalMetric, base.FinalMetric)
+		}
+	}
+}
+
+// On a complete topology with full participation the Metropolis–Hastings
+// matrix is uniform 1/n averaging, so gossip is star-synchronous FedAvg with
+// per-device optimizer state: at equal rounds the two final metrics must
+// agree within a small tolerance.
+func TestGossipCompleteMatchesStarSync(t *testing.T) {
+	run := func(sched core.Sched) float64 {
+		sys, split := smallSystem(t, sched, 0, 31)
+		sc := Scenario{Rounds: 6, EvalEvery: -1, Seed: 7}
+		if sched == core.SchedGossip {
+			sc.Topology = mustTopo(t, "complete", sys.G.N, 31)
+		}
+		sim, err := New(sys, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalMetric
+	}
+	star := run(core.SchedSync)
+	gossip := run(core.SchedGossip)
+	if d := math.Abs(star - gossip); d > 0.15 {
+		t.Fatalf("complete-topology gossip final metric %v vs star sync %v (|Δ|=%v)",
+			gossip, star, d)
+	}
+}
+
+// Gossip wire accounting is exact: each round's bytes are one upload per
+// (participant, present neighbor) pair, counted at the sender.
+func TestGossipBytesExact(t *testing.T) {
+	sys, split := gossipSystem(t, 0, 31)
+	n := sys.G.N
+	tp := mustTopo(t, "ring:2", n, 31)
+	sim, err := New(sys, Scenario{Rounds: 2, EvalEvery: -1, Seed: 7, Topology: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(core.NewSupervisedObjective(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := sys.DeviceUploadBytes()
+	var want int64
+	for d := 0; d < n; d++ {
+		want += int64(tp.Degree(d)) * up[d] // full participation: all present
+	}
+	for _, rs := range res.Timeline {
+		if rs.Bytes != want {
+			t.Fatalf("round %d bytes %d, want %d", rs.Round, rs.Bytes, want)
+		}
+		if rs.Energy <= 0 {
+			t.Fatalf("round %d has no energy accounting", rs.Round)
+		}
+	}
+}
+
+// Denser topologies pay more energy at equal compute: complete-topology
+// gossip moves O(n) deltas per device where the ring moves O(1).
+func TestGossipEnergyScalesWithDegree(t *testing.T) {
+	run := func(spec string) float64 {
+		sys, split := gossipSystem(t, 0, 31)
+		sim, err := New(sys, Scenario{Rounds: 2, EvalEvery: -1, Seed: 7,
+			Topology: mustTopo(t, spec, sys.G.N, 31)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalEnergy
+	}
+	ring, complete := run("ring:2"), run("complete")
+	if complete <= ring {
+		t.Fatalf("complete-topology energy %v not above ring energy %v", complete, ring)
+	}
+}
+
+// New rejects topology/scheduling mismatches in both directions, and
+// scenario validation rejects the new knobs' bad values.
+func TestGossipScenarioValidation(t *testing.T) {
+	sys, _ := gossipSystem(t, 0, 31)
+	if _, err := New(sys, Scenario{Rounds: 2}); err == nil {
+		t.Fatal("gossip system without a topology accepted")
+	}
+	if _, err := New(sys, Scenario{Rounds: 2,
+		Topology: mustTopo(t, "ring", sys.G.N+2, 31)}); err == nil {
+		t.Fatal("topology with wrong node count accepted")
+	}
+	star, _ := simSystem(t, core.SchedSync, 0, 0, 31)
+	if _, err := New(star, Scenario{Rounds: 2,
+		Topology: mustTopo(t, "ring", star.G.N, 31)}); err == nil {
+		t.Fatal("topology under star scheduling accepted")
+	}
+	for _, bad := range []Scenario{
+		{Rounds: 2, LinkDiscipline: "lifo"},
+		{Rounds: 2, Policy: "greedy"},
+		{Rounds: 2, EnergyBudget: -1},
+		{Rounds: 2, EnergyBudget: 5}, // budget without the energy policy
+	} {
+		bad := bad
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("scenario %+v validated", bad)
+		}
+	}
+}
+
+// The energy policy deterministically excludes over-budget devices — same
+// seed, same participant sets — and never selects a device whose projected
+// spend exceeds the budget while cheaper devices exist.
+func TestEnergyPolicyDeterministicAndEffective(t *testing.T) {
+	run := func() *Result {
+		sys, split := simSystem(t, core.SchedSync, 0, 0, 17)
+		sim, err := New(sys, Scenario{
+			Fleet: FleetZipf, Rounds: 4, EvalEvery: -1, Seed: 7,
+			Policy: PolicyEnergy, // budget 0: fleet-mean projected spend
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(core.NewSupervisedObjective(split))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatal("energy-policy timeline not reproducible")
+	}
+	// The zipf fleet's tail is power-hungry: the mean-budget filter must
+	// actually exclude someone.
+	sys, _ := simSystem(t, core.SchedSync, 0, 0, 17)
+	full := sys.G.N
+	for _, rs := range a.Timeline {
+		if rs.Participants >= full {
+			t.Fatalf("round %d: energy policy excluded nobody (%d of %d)",
+				rs.Round, rs.Participants, full)
+		}
+		if rs.Participants == 0 {
+			t.Fatalf("round %d: energy policy emptied the round", rs.Round)
+		}
+	}
+	// And the uniform policy on the same seed differs (the filter is live).
+	sys2, split2 := simSystem(t, core.SchedSync, 0, 0, 17)
+	sim2, err := New(sys2, Scenario{Fleet: FleetZipf, Rounds: 4, EvalEvery: -1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unif, err := sim2.Run(core.NewSupervisedObjective(split2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(unif.Timeline, a.Timeline) {
+		t.Fatal("energy policy produced the uniform timeline")
+	}
+}

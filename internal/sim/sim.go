@@ -53,6 +53,7 @@ import (
 	"lumos/internal/fed"
 	"lumos/internal/fleet"
 	"lumos/internal/obs"
+	"lumos/internal/topo"
 )
 
 // Scenario configures one simulated deployment.
@@ -101,6 +102,26 @@ type Scenario struct {
 	// round-driven model selection, mirroring the epoch trainers. Off by
 	// default: the final model is then the last committed one.
 	ModelSelection bool
+	// Topology is the device contact graph for decentralized (gossip)
+	// scheduling: required — and only meaningful — when the system's
+	// Config.Sched is core.SchedGossip, with exactly one topology node per
+	// device. Build one with the internal/topo generators or load a measured
+	// contact graph with topo.Load. New rejects a topology under star
+	// scheduling and a gossip system without one.
+	Topology *topo.Topology
+	// LinkDiscipline selects how concurrent deltas share a gossip link:
+	// "ps" (default — egalitarian processor sharing, a fair-queued NIC) or
+	// "fifo" (one delta at a time in arrival order). Star scheduling ignores
+	// it: the aggregator's shared server is always FIFO.
+	LinkDiscipline string
+	// Policy selects the participation policy applied after availability and
+	// before sampling (default PolicyUniform). PolicyEnergy skips devices
+	// whose projected per-round energy spend exceeds EnergyBudget.
+	Policy Policy
+	// EnergyBudget is PolicyEnergy's per-round per-device budget in joules.
+	// 0 auto-derives the fleet's mean projected spend; setting it under
+	// PolicyUniform (or negative) fails validation.
+	EnergyBudget float64
 	// Cost supplies the per-event costs (zero value: fed.DefaultCostModel).
 	Cost fed.CostModel
 	// Tracer, when non-nil, records the simulated timeline as trace events
@@ -183,10 +204,54 @@ func (sc *Scenario) Validate() error {
 	case sc.EvalEvery < 0:
 		sc.EvalEvery = 0 // explicit "final round only"
 	}
+	if _, err := fleet.ParseDiscipline(sc.LinkDiscipline); err != nil {
+		return err
+	}
+	if sc.Policy == "" {
+		sc.Policy = PolicyUniform
+	}
+	if _, err := ParsePolicy(string(sc.Policy)); err != nil {
+		return err
+	}
+	if sc.EnergyBudget < 0 {
+		return fmt.Errorf("sim: negative energy budget %v", sc.EnergyBudget)
+	}
+	if sc.EnergyBudget > 0 && sc.Policy != PolicyEnergy {
+		return fmt.Errorf("sim: EnergyBudget=%v requires Policy=energy", sc.EnergyBudget)
+	}
 	if sc.Cost == (fed.CostModel{}) {
 		sc.Cost = fed.DefaultCostModel()
 	}
 	return sc.Cost.Validate()
+}
+
+// Policy names a participation policy — how the simulator narrows the
+// available set before each round's sample.
+type Policy string
+
+const (
+	// PolicyUniform samples uniformly from every available device — the
+	// classic FedAvg participation model and the default.
+	PolicyUniform Policy = "uniform"
+	// PolicyEnergy first drops every available device whose projected
+	// per-round energy spend (compute at its profile-scaled power draw plus
+	// its round's radio traffic, via fed.CostModel.Energy) exceeds
+	// Scenario.EnergyBudget, then samples uniformly from the rest. When the
+	// filter would empty the pool, the single cheapest device stays — a
+	// round must be able to happen.
+	PolicyEnergy Policy = "energy"
+)
+
+// ParsePolicy parses a participation-policy name; "" selects uniform.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "uniform":
+		return PolicyUniform, nil
+	case "energy":
+		return PolicyEnergy, nil
+	default:
+		return "", fmt.Errorf("sim: unknown participation policy %q (want uniform|energy)", s)
+	}
 }
 
 // RoundStats is one entry of the simulated timeline.

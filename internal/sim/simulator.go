@@ -10,6 +10,7 @@ import (
 	"lumos/internal/core"
 	"lumos/internal/fleet"
 	"lumos/internal/obs"
+	"lumos/internal/topo"
 )
 
 // Simulator advances one Scenario over one assembled core.System.
@@ -41,6 +42,19 @@ type Simulator struct {
 	// energy accumulates each device's joules across the run.
 	energy []float64
 
+	// Gossip state (Sched == core.SchedGossip): the contact graph, the
+	// per-link servers (created lazily, keyed by the canonical u<v edge),
+	// and the link queueing discipline.
+	topo     *topo.Topology
+	links    map[[2]int]*fleet.Server
+	linkDisc fleet.Discipline
+
+	// projected is each device's projected per-round energy spend in joules
+	// and budget the PolicyEnergy cutoff — both fixed at construction, so
+	// the policy's filter is deterministic and free of feedback loops.
+	projected []float64
+	budget    float64
+
 	// tr records the timeline on the virtual clock (Scenario.Tracer); the
 	// m* instruments live in Scenario.Metrics. All are nil when telemetry
 	// is off — the instruments are nil-safe, and tracer calls that build
@@ -53,6 +67,10 @@ type Simulator struct {
 	mRoundEnergy  *obs.Gauge
 	mParticipants *obs.Gauge
 	mRoundTime    *obs.Histogram
+	mDeltas       *obs.Counter
+	mGossipBytes  *obs.Counter
+	linkWait      *obs.Histogram
+	linkJobs      *obs.Counter
 }
 
 // roundTrack is the tracer track carrying round spans, commits, and
@@ -76,6 +94,24 @@ func New(sys *core.System, sc Scenario) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	gossip := sys.Cfg.Sched == core.SchedGossip
+	if gossip {
+		if sc.Topology == nil {
+			return nil, fmt.Errorf("sim: gossip scheduling needs a Scenario.Topology (see internal/topo)")
+		}
+		if sc.Topology.N() != n {
+			return nil, fmt.Errorf("sim: topology %q has %d nodes for %d devices", sc.Topology.Name(), sc.Topology.N(), n)
+		}
+	} else if sc.Topology != nil {
+		return nil, fmt.Errorf("sim: Scenario.Topology requires gossip scheduling (Config.Sched = core.SchedGossip)")
+	}
+	linkDisc, err := fleet.ParseDiscipline(sc.LinkDiscipline)
+	if err != nil {
+		return nil, err
+	}
+	if gossip && sc.LinkDiscipline == "" {
+		linkDisc = fleet.DiscPS // gossip links default to fair queueing
+	}
 	s := &Simulator{
 		sys:       sys,
 		sc:        sc,
@@ -91,10 +127,42 @@ func New(sys *core.System, sc Scenario) (*Simulator, error) {
 		sampleRng: rand.New(rand.NewSource(sc.Seed ^ 0x73616d706c65)),
 		agg:       fleet.Server{BytesPerSecond: sc.Cost.AggBytesPerSecond},
 		energy:    make([]float64, n),
+		topo:      sc.Topology,
+		linkDisc:  linkDisc,
+	}
+	if gossip {
+		s.links = make(map[[2]int]*fleet.Server)
 	}
 	for d := range s.avail {
 		s.avail[d] = profiles[d].OnlineAt(0)
 		s.lastPart[d] = -1
+	}
+	if sc.Policy == PolicyEnergy {
+		// Project each device's per-round spend once, from the full-fleet
+		// worst case: all neighbors present under gossip, upload plus
+		// broadcast under star scheduling. A fixed projection keeps the
+		// policy's filter independent of the round's churn draw — the same
+		// devices are in or out for the whole run.
+		s.projected = make([]float64, n)
+		for d := range s.projected {
+			radio := s.up[d] + s.model
+			if gossip {
+				deg := s.topo.Degree(d)
+				radio = int64(deg) * s.up[d]
+				for _, j := range s.topo.Neighbors(d) {
+					radio += s.up[j]
+				}
+			}
+			s.projected[d] = sc.Cost.Energy(s.computeTime(d), s.profiles[d].Power, radio)
+		}
+		s.budget = sc.EnergyBudget
+		if s.budget == 0 {
+			sum := 0.0
+			for _, e := range s.projected {
+				sum += e
+			}
+			s.budget = sum / float64(n)
+		}
 	}
 	s.tr = sc.Tracer
 	if r := sc.Metrics; r != nil {
@@ -116,6 +184,16 @@ func New(sys *core.System, sc Scenario) (*Simulator, error) {
 			"Simulated queueing delay at the shared aggregator link", obs.DurationBuckets)
 		s.agg.Served = r.Counter("lumos_sim_agg_jobs_total",
 			"Jobs serialized through the shared aggregator link")
+		if gossip {
+			s.mDeltas = r.Counter("lumos_sim_gossip_deltas_total",
+				"Model deltas exchanged between gossip neighbors")
+			s.mGossipBytes = r.Counter("lumos_sim_gossip_bytes_total",
+				"Bytes moved over gossip links")
+			s.linkWait = r.Histogram("lumos_sim_gossip_link_wait_seconds",
+				"Simulated sharing delay on gossip links", obs.DurationBuckets)
+			s.linkJobs = r.Counter("lumos_sim_gossip_link_jobs_total",
+				"Delta transfers served by gossip link servers")
+		}
 	}
 	return s, nil
 }
@@ -159,6 +237,9 @@ func (s *Simulator) Profiles() []Profile {
 // contribute), its wire traffic, and the evaluation metric the timeline's
 // Metric points carry (accuracy or AUC).
 func (s *Simulator) Run(obj core.Objective) (*Result, error) {
+	if s.sys.Cfg.Sched == core.SchedGossip {
+		return s.runGossip(obj)
+	}
 	sess, err := s.sys.NewSession(obj)
 	if err != nil {
 		return nil, err
@@ -436,8 +517,12 @@ func (s *Simulator) drainRound(arr []float64) {
 	}
 }
 
-// sample draws this round's participants: ⌈Participation · available⌉
+// sample draws this round's participants: ⌈Participation · eligible⌉
 // devices, chosen by a seeded permutation, returned in ascending id order.
+// Under PolicyEnergy the eligible pool first drops every device whose
+// projected per-round energy exceeds the budget; the filter happens before
+// any RNG draw, so PolicyUniform runs consume the sample stream exactly as
+// they always did (the frozen goldens depend on that).
 func (s *Simulator) sample() []int {
 	ids := make([]int, 0, len(s.avail))
 	for d, a := range s.avail {
@@ -447,6 +532,24 @@ func (s *Simulator) sample() []int {
 	}
 	if len(ids) == 0 {
 		return nil
+	}
+	if s.sc.Policy == PolicyEnergy {
+		kept := ids[:0]
+		cheapest := ids[0]
+		for _, d := range ids {
+			if s.projected[d] < s.projected[cheapest] {
+				cheapest = d // ties keep the lowest id
+			}
+			if s.projected[d] <= s.budget {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) == 0 {
+			// An over-budget fleet still trains: the single cheapest
+			// available device participates rather than stalling the run.
+			kept = append(kept, cheapest)
+		}
+		ids = kept
 	}
 	k := int(math.Ceil(s.sc.Participation * float64(len(ids))))
 	if k < 1 {

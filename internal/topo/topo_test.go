@@ -1,0 +1,258 @@
+package topo
+
+import (
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRingDegreeAndConnectivity(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		tp, err := Ring(21, k)
+		if err != nil {
+			t.Fatalf("Ring(21,%d): %v", k, err)
+		}
+		for d := 0; d < tp.N(); d++ {
+			if tp.Degree(d) != k {
+				t.Fatalf("ring k=%d: device %d has degree %d", k, d, tp.Degree(d))
+			}
+		}
+		if !tp.Connected() {
+			t.Fatalf("ring k=%d disconnected", k)
+		}
+		if got := tp.NumEdges(); got != 21*k/2 {
+			t.Fatalf("ring k=%d: %d edges, want %d", k, got, 21*k/2)
+		}
+	}
+	if _, err := Ring(10, 3); err == nil {
+		t.Fatal("odd ring degree accepted")
+	}
+	if _, err := Ring(4, 4); err == nil {
+		t.Fatal("ring degree >= n accepted")
+	}
+}
+
+func TestKRegularExactDegree(t *testing.T) {
+	tp, err := KRegular(30, 4, 11)
+	if err != nil {
+		t.Fatalf("KRegular: %v", err)
+	}
+	for d := 0; d < tp.N(); d++ {
+		if tp.Degree(d) != 4 {
+			t.Fatalf("device %d has degree %d, want 4", d, tp.Degree(d))
+		}
+	}
+	if !tp.Connected() {
+		t.Fatal("4-regular over 30 devices came out disconnected")
+	}
+	if _, err := KRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n·k accepted")
+	}
+}
+
+func TestBarabasiAlbertPowerLawTail(t *testing.T) {
+	tp, err := BarabasiAlbert(300, 2, 7)
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	if !tp.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	// Every non-core device attaches with exactly m=2 edges on top of the
+	// complete K3 core, so the edge count is pinned: 3 + 2·297.
+	if got, want := tp.NumEdges(), 3+2*297; got != want {
+		t.Fatalf("edge count %d, want %d", got, want)
+	}
+	degs := make([]int, tp.N())
+	for d := range degs {
+		degs[d] = tp.Degree(d)
+		if degs[d] < 2 {
+			t.Fatalf("device %d has degree %d < m", d, degs[d])
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	// Preferential attachment concentrates degree: the heaviest hub must be
+	// far above the m≈2 typical device (a heavy tail the ER/regular
+	// generators cannot produce), and the median must stay near m.
+	if degs[0] < 5*degs[len(degs)/2] {
+		t.Fatalf("no hub: max degree %d vs median %d", degs[0], degs[len(degs)/2])
+	}
+	if degs[len(degs)/2] > 4 {
+		t.Fatalf("median degree %d, want near m=2", degs[len(degs)/2])
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	build := func() []*Topology {
+		r, _ := Ring(24, 4)
+		k, _ := KRegular(24, 3, 5)
+		b, _ := BarabasiAlbert(24, 2, 5)
+		c, _ := Complete(12)
+		return []*Topology{r, k, b, c}
+	}
+	a, b := build(), build()
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Edges(), b[i].Edges()) {
+			t.Fatalf("%s: same seed produced different edge lists", a[i].Name())
+		}
+	}
+	k1, _ := KRegular(24, 3, 5)
+	k2, _ := KRegular(24, 3, 6)
+	if reflect.DeepEqual(k1.Edges(), k2.Edges()) {
+		t.Fatal("different seeds produced identical k-regular graphs")
+	}
+}
+
+func TestFromEdgesRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"self-loop", 4, [][2]int{{1, 1}}},
+		{"out-of-range", 4, [][2]int{{0, 4}}},
+		{"negative", 4, [][2]int{{-1, 2}}},
+		{"duplicate", 4, [][2]int{{0, 1}, {1, 0}}},
+		{"too-small", 1, nil},
+	}
+	for _, c := range cases {
+		if _, err := FromEdges(c.name, c.n, c.edges); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	orig, err := BarabasiAlbert(20, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"contacts.csv", "contacts.json"} {
+		path := filepath.Join(dir, name)
+		if err := orig.Save(path); err != nil {
+			t.Fatalf("save %s: %v", name, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if got.N() != orig.N() {
+			t.Fatalf("%s: %d nodes, want %d", name, got.N(), orig.N())
+		}
+		if !reflect.DeepEqual(got.Edges(), orig.Edges()) {
+			t.Fatalf("%s: edges changed across round-trip", name)
+		}
+		// Save→load→save must be byte-stable (canonical edge order).
+		again := filepath.Join(dir, "again-"+name)
+		if err := got.Save(again); err != nil {
+			t.Fatal(err)
+		}
+		t2, err := Load(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(t2.Edges(), orig.Edges()) {
+			t.Fatalf("%s: second round-trip drifted", name)
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"missing-nodes", "src,dst\n0,1\n"},
+		{"missing-header", "# nodes: 4\n"},
+		{"wrong-header", "# nodes: 4\na,b\n0,1\n"},
+		{"self-loop", "# nodes: 4\nsrc,dst\n2,2\n"},
+		{"out-of-range", "# nodes: 4\nsrc,dst\n0,9\n"},
+		{"duplicate", "# nodes: 4\nsrc,dst\n0,1\n1,0\n"},
+		{"non-numeric", "# nodes: 4\nsrc,dst\nzero,1\n"},
+		{"bad-directive", "# nodes: four\nsrc,dst\n0,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.body)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes": 4, "edges": [[0,1]], "bogus": 1}`)); err == nil {
+		t.Error("unknown JSON field accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes": 4, "edges": [[0,0]]}`)); err == nil {
+		t.Error("JSON self-loop accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good := map[string]Spec{
+		"ring":        {Kind: "ring", K: 2},
+		"ring:4":      {Kind: "ring", K: 4},
+		"k-regular:3": {Kind: "k-regular", K: 3},
+		"ba:2":        {Kind: "barabasi-albert", K: 2},
+		"complete":    {Kind: "complete"},
+		"file:x.csv":  {Kind: "file", Path: "x.csv"},
+	}
+	for in, want := range good {
+		got, err := ParseSpec(in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "torus", "ring:x", "ba", "k-regular", "file:", "complete:3"} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): accepted", in)
+		}
+	}
+	// Build round-trips the spec and enforces the file node-count match.
+	sp, _ := ParseSpec("ring:4")
+	tp, err := sp.Build(10, 1)
+	if err != nil || tp.N() != 10 {
+		t.Fatalf("Build ring:4 over 10: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.csv")
+	if err := tp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fsp, _ := ParseSpec("file:" + path)
+	if _, err := fsp.Build(10, 1); err != nil {
+		t.Fatalf("file build: %v", err)
+	}
+	if _, err := fsp.Build(11, 1); err == nil {
+		t.Fatal("file build accepted mismatched device count")
+	}
+}
+
+func TestMetropolisWeightsDoublyStochastic(t *testing.T) {
+	tp, err := BarabasiAlbert(40, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row sums with self-weight = 1 - Σ neighbors must be exactly 1 by
+	// construction; column sums equal row sums by symmetry of the weight.
+	for d := 0; d < tp.N(); d++ {
+		sum := 0.0
+		for _, j := range tp.Neighbors(d) {
+			w := tp.MetropolisWeight(d, j)
+			if w2 := tp.MetropolisWeight(j, d); w2 != w {
+				t.Fatalf("asymmetric weight (%d,%d): %v vs %v", d, j, w, w2)
+			}
+			sum += w
+		}
+		if self := 1 - sum; self <= 0 {
+			t.Fatalf("device %d: non-positive self weight %v", d, self)
+		}
+	}
+	// Complete graph: every weight is exactly 1/n.
+	c, _ := Complete(8)
+	for _, j := range c.Neighbors(0) {
+		if w := c.MetropolisWeight(0, j); w != 1.0/8 {
+			t.Fatalf("complete weight %v, want 1/8", w)
+		}
+	}
+}

@@ -127,6 +127,50 @@
 // examples/churnstudy and examples/energystudy walkthroughs, and the
 // RunSimTimeline experiment runner.
 //
+// # Topologies and gossip (internal/topo)
+//
+// SchedGossip drops the aggregator entirely: training runs decentralized
+// over a peer contact graph (internal/topo). Each device keeps a private
+// model replica; every round the participants run their local step, push
+// model deltas to their topology neighbors over per-link queues paced by
+// the bottleneck of the two endpoints' bandwidths
+// (CostModel.LinkBytesPerSecond, processor-sharing by default —
+// SimScenario.LinkDiscipline selects "ps" or "fifo"), and average with
+// whichever neighbors participated this round under Metropolis–Hastings
+// weights w(d,j) = 1/(1+max(deg d, deg j)). The weight matrix is symmetric
+// and doubly stochastic from local degree knowledge alone, so on the
+// complete topology with full participation it degenerates to the uniform
+// 1/n average — the bridge back to the star aggregator that the
+// gossip-vs-star equivalence test pins. Replica mixing averages Adam's
+// moments alongside the weights (MixReplicas / nn.MixOptStates): without
+// moment averaging, per-device sign-normalized Adam steps cancel in the
+// consensus mean and decentralized training stalls.
+//
+// Topologies come from deterministic seeded generators — TopologyRing,
+// TopologyKRegular, TopologyBarabasiAlbert, TopologyComplete — or from a
+// contact-graph file (LoadTopology; CSV "u,v" edge rows or a JSON edge
+// list, mirroring fleet.Trace's on-disk conventions, with a lossless
+// round-trip). ParseTopologySpec parses the CLI spec grammar
+// ("ring:<k>", "k-regular:<k>", "ba:<m>", "complete", "file:<path>") that
+// lumos-sim -topology and the eval timelines accept. Gossip rounds carry
+// O(degree) uploads per device, so radio energy grows with the contact
+// graph's edge count — examples/topologystudy plays the same fleet over a
+// ring, a k-regular graph, and a scale-free graph and checks every
+// topology lands within 5% of the star-synchronous final at equal rounds.
+// The gossip timeline obeys the same determinism contract as everything
+// else: frozen reduction orders end to end, so same-seed runs are
+// bit-identical for every Workers value.
+//
+// Independent of the schedule, SimScenario.Policy selects how the
+// simulator narrows the available set before each round's participation
+// sample: "uniform" (default) admits everyone, "energy"
+// (lumos-sim -participation-policy energy) admits only devices whose
+// projected per-round energy — compute at profile power plus radio bytes,
+// O(degree) under gossip — fits the per-round budget
+// (SimScenario.EnergyBudget, default: the fleet mean, so the policy always
+// bites the straggler tail), keeping the cheapest device when the budget
+// would empty a round.
+//
 // # Device fleets (internal/fleet)
 //
 // The device population behind every simulation comes from internal/fleet,
@@ -237,6 +281,7 @@ import (
 	"lumos/internal/sim"
 	"lumos/internal/snapshot"
 	"lumos/internal/tensor"
+	"lumos/internal/topo"
 )
 
 // Graph and dataset handling.
@@ -322,8 +367,9 @@ const (
 
 // Scheduling modes.
 const (
-	SchedSync  = core.SchedSync
-	SchedAsync = core.SchedAsync
+	SchedSync   = core.SchedSync
+	SchedAsync  = core.SchedAsync
+	SchedGossip = core.SchedGossip
 )
 
 // KernelPath selects between the register-blocked tensor kernels and the
@@ -347,7 +393,7 @@ func SetKernelPath(p KernelPath) { tensor.SetKernelPath(p) }
 // means blocked).
 func ParseKernelPath(s string) (KernelPath, error) { return tensor.ParseKernelPath(s) }
 
-// ParseSched parses a scheduling-mode name ("sync" or "async").
+// ParseSched parses a scheduling-mode name ("sync", "async", or "gossip").
 func ParseSched(name string) (Sched, error) { return core.ParseSched(name) }
 
 // ParseTask parses a task name ("supervised" or "unsupervised").
@@ -433,6 +479,71 @@ func SampleTrace(devices int, seed int64) (*Trace, error) {
 func NewSimulator(sys *System, sc SimScenario) (*Simulator, error) {
 	return sim.New(sys, sc)
 }
+
+// Topologies and gossip (see the package documentation).
+type (
+	// Topology is a peer contact graph: which devices exchange model deltas
+	// directly under SchedGossip (SimScenario.Topology).
+	Topology = topo.Topology
+	// TopologySpec is a parsed topology description ("ring:<k>",
+	// "k-regular:<k>", "ba:<m>", "complete", "file:<path>"); Build
+	// instantiates it for a device count and seed.
+	TopologySpec = topo.Spec
+	// SimPolicy names a participation policy — how the simulator narrows
+	// the available set before each round's sample.
+	SimPolicy = sim.Policy
+	// LinkDiscipline selects a queueing discipline for gossip's per-link
+	// servers (and any fleet.Server): FIFO or egalitarian processor
+	// sharing.
+	LinkDiscipline = fleet.Discipline
+)
+
+// Participation policies.
+const (
+	PolicyUniform = sim.PolicyUniform
+	PolicyEnergy  = sim.PolicyEnergy
+)
+
+// Link queueing disciplines.
+const (
+	DiscFIFO = fleet.DiscFIFO
+	DiscPS   = fleet.DiscPS
+)
+
+// ParseTopologySpec parses a topology spec ("ring:<k>", "k-regular:<k>",
+// "ba:<m>", "complete", or "file:<path>") — the grammar behind
+// lumos-sim -topology.
+func ParseTopologySpec(s string) (TopologySpec, error) { return topo.ParseSpec(s) }
+
+// ParsePolicy parses a participation-policy name ("uniform" or "energy";
+// "" means uniform).
+func ParsePolicy(s string) (SimPolicy, error) { return sim.ParsePolicy(s) }
+
+// ParseDiscipline parses a queueing-discipline name ("fifo" or "ps").
+func ParseDiscipline(s string) (LinkDiscipline, error) { return fleet.ParseDiscipline(s) }
+
+// TopologyRing returns the ring lattice where each device contacts its k
+// nearest neighbors on a cycle (k even).
+func TopologyRing(n, k int) (*Topology, error) { return topo.Ring(n, k) }
+
+// TopologyKRegular returns a connected random k-regular contact graph,
+// deterministically from the seed.
+func TopologyKRegular(n, k int, seed int64) (*Topology, error) { return topo.KRegular(n, k, seed) }
+
+// TopologyBarabasiAlbert returns a scale-free Barabási–Albert contact
+// graph (m attachments per arriving device), deterministically from the
+// seed.
+func TopologyBarabasiAlbert(n, m int, seed int64) (*Topology, error) {
+	return topo.BarabasiAlbert(n, m, seed)
+}
+
+// TopologyComplete returns the all-pairs contact graph — gossip's bridge
+// back to the star aggregator.
+func TopologyComplete(n int) (*Topology, error) { return topo.Complete(n) }
+
+// LoadTopology reads a contact graph from a CSV (.csv) or JSON (.json)
+// edge-list file; see internal/topo/file.go for the schema.
+func LoadTopology(path string) (*Topology, error) { return topo.Load(path) }
 
 // Snapshots and serving (see the package documentation).
 type (

@@ -95,6 +95,31 @@ for gate in \
 	fi
 done
 
+# Gossip/topology gates, re-run by name so a renamed or skipped guard fails
+# loudly: decentralized-timeline determinism across worker counts under the
+# race detector, the gossip-complete ≈ star-sync equivalence check, the
+# star-timeline golden re-check (gossip wiring must not perturb the frozen
+# hex-float timelines), and the smoke rows for the gossip CLI surface and
+# the topologystudy example (which exits non-zero unless every topology
+# lands within 5% of the star final at equal rounds).
+gossip_out=$(go test -race -run 'TestGossipDeterminismAcrossWorkers|TestGossipCompleteMatchesStarSync' -count=1 -v ./internal/sim)
+star_out=$(go test -run 'TestPreFleetTimelineGolden' -count=1 -v ./internal/sim)
+gsmoke_out=$(go test -run 'TestEntryPointsBuildAndRun/(lumos-sim-gossip|examples)/topologystudy' -count=1 -v .)
+for gate in \
+	"TestGossipDeterminismAcrossWorkers:$gossip_out" \
+	"TestGossipCompleteMatchesStarSync:$gossip_out" \
+	"TestPreFleetTimelineGolden:$star_out" \
+	"TestEntryPointsBuildAndRun/lumos-sim-gossip:$gsmoke_out" \
+	"TestEntryPointsBuildAndRun/examples/topologystudy:$gsmoke_out"; do
+	name=${gate%%:*}
+	out=${gate#*:}
+	if ! grep -q -- "--- PASS: $name" <<<"$out"; then
+		echo "gossip gate $name did not pass:" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+done
+
 # Serving-loop gates, re-run by name so a renamed or skipped guard fails
 # loudly: the checkpoint/snapshot corruption tables (corrupt files must fail
 # with bounded allocation), the hot-swap race suite, and the CLI-level

@@ -45,6 +45,13 @@ var entryPoints = []struct {
 	{pkg: "./cmd/lumos-sim", name: "lumos-sim-trace", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
 		"-fleet", "trace:{TRACE}", "-agg-capacity", "2e6", "-select"}},
+	// Decentralized gossip over a ring contact graph, with the energy-aware
+	// participation policy biting a zipf fleet's straggler tail: keeps the
+	// -topology/-sched gossip/-participation-policy surface from rotting.
+	{pkg: "./cmd/lumos-sim", name: "lumos-sim-gossip", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
+		"-sched", "gossip", "-topology", "ring:4", "-fleet", "zipf",
+		"-participation-policy", "energy"}},
 	// Telemetry surface: -trace writes Chrome trace-event JSON ({TMP} is the
 	// shared temp dir) and -metrics dumps Prometheus text after the
 	// timeline; the row keeps both observability flags from rotting.
@@ -67,6 +74,10 @@ var entryPoints = []struct {
 	// (exits non-zero on regression), so this row is a CI gate too.
 	{pkg: "./examples/energystudy", run: true, args: []string{
 		"-n", "60", "-m", "240", "-rounds", "4", "-mcmc", "10"}},
+	// topologystudy exits non-zero unless every gossip topology lands within
+	// 5% of the star-synchronous final at equal rounds, so this row is a CI
+	// gate on decentralized convergence.
+	{pkg: "./examples/topologystudy", run: true, args: []string{}},
 	{pkg: "./examples/quickstart", run: true, args: []string{"-n", "60", "-m", "240", "-epochs", "3", "-mcmc", "10"}},
 	// servequickstart runs the whole train→publish→serve→query loop and
 	// exits non-zero if any served answer differs from the trainer's own
