@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"lumos/internal/core"
 	"lumos/internal/eval"
@@ -42,41 +43,44 @@ import (
 	"lumos/internal/graph"
 	"lumos/internal/nn"
 	"lumos/internal/obs"
+	"lumos/internal/report"
 	"lumos/internal/sim"
 	"lumos/internal/topo"
 )
 
 func main() {
 	var (
-		dataset   = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
-		scale     = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
-		task      = flag.String("task", "supervised", "training objective: supervised|unsupervised")
-		backbone  = flag.String("backbone", "gcn", "gcn|gat")
-		fleetSpec = flag.String("fleet", "zipf", "device fleet: uniform|zipf|periodic|trace:<path> (CSV/JSON trace, see lumos-datagen -traces)")
-		zipfSkew  = flag.Float64("zipf", 1.2, "zipf fleet skew (slowest device ~2^skew x median)")
-		tracePer  = flag.Int("trace-period", 8, "periodic fleet availability period, rounds")
-		traceDuty = flag.Float64("trace-duty", 0.75, "periodic fleet online fraction of each period")
-		aggCap    = flag.Float64("agg-capacity", 0, "aggregator shared uplink/downlink capacity, bytes/s (0 = unlimited: independent links)")
-		churn     = flag.Float64("churn", 0.2, "per-round probability an online device leaves")
-		rejoin    = flag.Float64("rejoin", 0.5, "per-round probability an offline device returns")
-		partic    = flag.Float64("participation", 0.8, "fraction of available devices sampled per round")
-		rounds    = flag.Int("rounds", 20, "training rounds to simulate")
-		sched     = flag.String("sched", "sync", "round scheduling: sync|async|gossip|both")
-		stale     = flag.Int("staleness", 2, "async gradient staleness bound in rounds")
-		topoSpec  = flag.String("topology", "", "gossip contact graph: ring[:k]|k-regular:<k>|ba:<m>|complete|file:<path> (required with -sched gossip)")
-		linkDisc  = flag.String("link-discipline", "", "gossip link queueing: ps (default)|fifo")
-		policy    = flag.String("participation-policy", "uniform", "participation policy: uniform|energy (skip devices over the per-round energy budget)")
-		budget    = flag.Float64("energy-budget", 0, "energy policy per-round per-device budget, joules (0 = fleet mean projected spend)")
-		ttl       = flag.Int("ttl", 2, "rounds an absent device's cached embeddings keep serving")
-		evalEvery = flag.Int("eval-every", 5, "evaluate the test metric every k rounds")
-		selection = flag.Bool("select", false, "round-driven model selection: keep the best validation-metric snapshot")
-		mcmc      = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
-		eps       = flag.Float64("eps", 2, "privacy budget epsilon")
-		workers   = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
-		seed      = flag.Int64("seed", 7, "run seed (training and scenario)")
-		csv       = flag.Bool("csv", false, "also print the per-round timeline as CSV")
-		traceOut  = flag.String("trace", "", "write the simulated timeline as Chrome trace-event JSON, viewable in Perfetto (with -sched both the mode is inserted before the extension)")
-		metricsOn = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format after the timeline")
+		dataset    = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
+		scale      = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
+		task       = flag.String("task", "supervised", "training objective: supervised|unsupervised")
+		backbone   = flag.String("backbone", "gcn", "gcn|gat")
+		fleetSpec  = flag.String("fleet", "zipf", "device fleet: uniform|zipf|periodic|trace:<path> (CSV/JSON trace, see lumos-datagen -traces)")
+		zipfSkew   = flag.Float64("zipf", 1.2, "zipf fleet skew (slowest device ~2^skew x median)")
+		tracePer   = flag.Int("trace-period", 8, "periodic fleet availability period, rounds")
+		traceDuty  = flag.Float64("trace-duty", 0.75, "periodic fleet online fraction of each period")
+		aggCap     = flag.Float64("agg-capacity", 0, "aggregator shared uplink/downlink capacity, bytes/s (0 = unlimited: independent links)")
+		churn      = flag.Float64("churn", 0.2, "per-round probability an online device leaves")
+		rejoin     = flag.Float64("rejoin", 0.5, "per-round probability an offline device returns")
+		partic     = flag.Float64("participation", 0.8, "fraction of available devices sampled per round")
+		rounds     = flag.Int("rounds", 20, "training rounds to simulate")
+		sched      = flag.String("sched", "sync", "round scheduling: sync|async|gossip|both")
+		stale      = flag.Int("staleness", 2, "async gradient staleness bound in rounds")
+		topoSpec   = flag.String("topology", "", "gossip contact graph: ring[:k]|k-regular:<k>|ba:<m>|complete|file:<path> (required with -sched gossip)")
+		linkDisc   = flag.String("link-discipline", "", "gossip link queueing: ps (default)|fifo")
+		policy     = flag.String("participation-policy", "uniform", "participation policy: uniform|energy (skip devices over the per-round energy budget)")
+		budget     = flag.Float64("energy-budget", 0, "energy policy per-round per-device budget, joules (0 = fleet mean projected spend)")
+		ttl        = flag.Int("ttl", 2, "rounds an absent device's cached embeddings keep serving")
+		evalEvery  = flag.Int("eval-every", 5, "evaluate the test metric every k rounds")
+		selection  = flag.Bool("select", false, "round-driven model selection: keep the best validation-metric snapshot")
+		mcmc       = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
+		eps        = flag.Float64("eps", 2, "privacy budget epsilon")
+		workers    = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
+		seed       = flag.Int64("seed", 7, "run seed (training and scenario)")
+		csv        = flag.Bool("csv", false, "also print the per-round timeline as CSV")
+		traceOut   = flag.String("trace", "", "write the simulated timeline as Chrome trace-event JSON, viewable in Perfetto (with -sched both the mode is inserted before the extension)")
+		metricsOn  = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format after the timeline")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics in Prometheus text format to this file (with -sched both the mode is inserted before the extension)")
+		runOut     = flag.String("run-out", "", "record the run to this directory (manifest.json, rounds.jsonl, metrics.prom) for lumos-report; with -sched both the mode is appended to the directory name")
 	)
 	flag.Parse()
 
@@ -189,7 +193,9 @@ func main() {
 		if *traceOut != "" {
 			tr = obs.NewVirtualTracer()
 		}
-		if *metricsOn {
+		// A run record wants the final scrape too, so -run-out implies a
+		// registry; telemetry is bit-identical either way.
+		if *metricsOn || *metricsOut != "" || *runOut != "" {
 			reg = obs.New()
 		}
 		cfg := core.Config{
@@ -208,6 +214,18 @@ func main() {
 		check(err)
 		sc := scenario
 		sc.Tracer, sc.Metrics = tr, reg
+		var rw *report.Writer
+		if *runOut != "" {
+			m := report.NewManifest("lumos-sim", os.Args[1:], *seed, time.Now().Unix())
+			m.Dataset, m.Task, m.Backbone = g.Name, taskKind.String(), strings.ToLower(*backbone)
+			m.Sched, m.Fleet, m.Topology = mode.String(), fleetLabel, *topoSpec
+			m.Rounds = *rounds
+			rw, err = report.NewWriter(traceName(*runOut, mode.String(), len(scheds) > 1), m)
+			check(err)
+			sc.RoundObserver = func(rs sim.RoundStats) {
+				check(rw.Round(report.RowFromSim(rs)))
+			}
+		}
 		s, err := sim.New(sys, sc)
 		check(err)
 		res, err := s.Run(newObjective())
@@ -220,7 +238,23 @@ func main() {
 			check(tr.WriteFile(out))
 			fmt.Printf("trace: wrote %d events to %s\n", tr.Len(), out)
 		}
-		if reg != nil {
+		if rw != nil {
+			check(rw.Finish(report.Summary{
+				MetricName: res.Metric, FinalMetric: res.FinalMetric,
+				WallClock: res.WallClock, TotalBytes: res.TotalBytes,
+				TotalEnergy: res.TotalEnergy,
+			}, reg))
+			fmt.Printf("run record: %s (%d rounds)\n", rw.Dir(), len(res.Timeline))
+		}
+		if *metricsOut != "" {
+			out := traceName(*metricsOut, mode.String(), len(scheds) > 1)
+			f, err := os.Create(out)
+			check(err)
+			check(reg.WritePrometheus(f))
+			check(f.Close())
+			fmt.Printf("metrics: wrote %s\n", out)
+		}
+		if *metricsOn {
 			fmt.Printf("metrics (%s scheduling):\n", mode)
 			check(reg.WritePrometheus(os.Stdout))
 		}

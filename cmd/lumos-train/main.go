@@ -22,31 +22,34 @@ import (
 	"lumos/internal/graph"
 	"lumos/internal/nn"
 	"lumos/internal/obs"
+	"lumos/internal/report"
 	"lumos/internal/snapshot"
 )
 
 func main() {
 	var (
-		dataset   = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
-		scale     = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
-		task      = flag.String("task", "supervised", "supervised|unsupervised")
-		backbone  = flag.String("backbone", "gcn", "gcn|gat")
-		epochs    = flag.Int("epochs", 60, "training epochs")
-		eps       = flag.Float64("eps", 2, "privacy budget epsilon")
-		mcmc      = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
-		secure    = flag.Bool("secure", false, "run real OT-based secure comparisons")
-		noVN      = flag.Bool("no-virtual-nodes", false, "ablation: disable virtual nodes")
-		noTT      = flag.Bool("no-tree-trimming", false, "ablation: disable tree trimming")
-		seed      = flag.Int64("seed", 7, "run seed")
-		save      = flag.String("save", "", "write trained model parameters to this file")
-		publish   = flag.String("publish", "", "publish a versioned serving snapshot to this file (atomic; version auto-increments)")
-		workers   = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
-		sched     = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
-		stale     = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
-		noTape    = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
-		kernels   = flag.String("kernels", "", "tensor kernel path: blocked (default) | reference (scalar cross-check loops; identical results)")
-		tracePth  = flag.String("trace", "", "write per-epoch spans and publish events as Chrome trace-event JSON (viewable in Perfetto)")
-		metricsOn = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format at the end")
+		dataset    = flag.String("dataset", "facebook", "facebook|lastfm|file:<path>")
+		scale      = flag.Float64("scale", 0.02, "dataset preset scale (0,1]")
+		task       = flag.String("task", "supervised", "supervised|unsupervised")
+		backbone   = flag.String("backbone", "gcn", "gcn|gat")
+		epochs     = flag.Int("epochs", 60, "training epochs")
+		eps        = flag.Float64("eps", 2, "privacy budget epsilon")
+		mcmc       = flag.Int("mcmc", 150, "MCMC tree-trimming iterations")
+		secure     = flag.Bool("secure", false, "run real OT-based secure comparisons")
+		noVN       = flag.Bool("no-virtual-nodes", false, "ablation: disable virtual nodes")
+		noTT       = flag.Bool("no-tree-trimming", false, "ablation: disable tree trimming")
+		seed       = flag.Int64("seed", 7, "run seed")
+		save       = flag.String("save", "", "write trained model parameters to this file")
+		publish    = flag.String("publish", "", "publish a versioned serving snapshot to this file (atomic; version auto-increments)")
+		workers    = flag.Int("workers", 0, "training worker pool size (0 = one per CPU; results identical)")
+		sched      = flag.String("sched", "sync", "round scheduling: sync|async (staleness-bounded)")
+		stale      = flag.Int("staleness", 0, "async gradient staleness bound in epochs (0 = default)")
+		noTape     = flag.Bool("notapereuse", false, "rebuild the autodiff tape every epoch instead of recycling it (debugging; identical results)")
+		kernels    = flag.String("kernels", "", "tensor kernel path: blocked (default) | reference (scalar cross-check loops; identical results)")
+		tracePth   = flag.String("trace", "", "write per-epoch spans and publish events as Chrome trace-event JSON (viewable in Perfetto)")
+		metricsOn  = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format at the end")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics in Prometheus text format to this file")
+		runOut     = flag.String("run-out", "", "record the run to this directory (manifest.json, rounds.jsonl, metrics.prom) for lumos-report")
 	)
 	flag.Parse()
 
@@ -72,7 +75,9 @@ func main() {
 	if *tracePth != "" {
 		tr = obs.NewTracer()
 	}
-	if *metricsOn {
+	// A run record wants the final scrape too, so -run-out implies a
+	// registry; telemetry is bit-identical either way.
+	if *metricsOn || *metricsOut != "" || *runOut != "" {
 		reg = obs.New()
 	}
 	if tr != nil || reg != nil {
@@ -99,6 +104,11 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	start := time.Now()
+	var (
+		runStats    *core.TrainStats
+		finalMetric float64
+		metricName  string
+	)
 	switch taskKind {
 	case core.Supervised:
 		split, err := graph.SplitNodes(g, 0.5, 0.25, rng)
@@ -115,6 +125,7 @@ func main() {
 		fmt.Printf("test accuracy: %.4f\n", acc)
 		maybeSave(*save, sys)
 		maybePublish(*publish, sys, g.Name, *seed, *epochs, acc, "accuracy")
+		runStats, finalMetric, metricName = stats, acc, "accuracy"
 	case core.Unsupervised:
 		es, err := graph.SplitEdges(g, 0.8, 0.05, rng)
 		check(err)
@@ -130,6 +141,7 @@ func main() {
 		fmt.Printf("test ROC-AUC: %.4f\n", auc)
 		maybeSave(*save, sys)
 		maybePublish(*publish, sys, g.Name, *seed, *epochs, auc, "roc-auc")
+		runStats, finalMetric, metricName = stats, auc, "roc-auc"
 	default:
 		fatalf("unknown task %q", *task)
 	}
@@ -138,7 +150,33 @@ func main() {
 		check(tr.WriteFile(*tracePth))
 		fmt.Printf("trace: wrote %d events to %s\n", tr.Len(), *tracePth)
 	}
-	if reg != nil {
+	if *runOut != "" {
+		m := report.NewManifest("lumos-train", os.Args[1:], *seed, time.Now().Unix())
+		m.Dataset, m.Task, m.Backbone = g.Name, taskKind.String(), strings.ToLower(*backbone)
+		m.Sched, m.Kernels, m.Rounds = schedMode.String(), *kernels, *epochs
+		rw, err := report.NewWriter(*runOut, m)
+		check(err)
+		rows := report.RowsFromTrainStats(runStats)
+		var totalBytes int64
+		for _, row := range rows {
+			check(rw.Round(row))
+			totalBytes += row.Bytes
+		}
+		check(rw.Finish(report.Summary{
+			MetricName: metricName, FinalMetric: finalMetric,
+			WallClock:  runStats.MeasuredTime.Seconds(),
+			TotalBytes: totalBytes,
+		}, reg))
+		fmt.Printf("run record: %s (%d epochs)\n", rw.Dir(), len(rows))
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		check(err)
+		check(reg.WritePrometheus(f))
+		check(f.Close())
+		fmt.Printf("metrics: wrote %s\n", *metricsOut)
+	}
+	if *metricsOn {
 		fmt.Println("metrics:")
 		check(reg.WritePrometheus(os.Stdout))
 	}

@@ -302,3 +302,19 @@ func TestRunSimTimeline(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTableRenderMarkdown: the markdown renderer emits a valid GFM table
+// with escaped pipes and the title as a bold paragraph.
+func TestTableRenderMarkdown(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a", "b"}}
+	tab.AddRow("x|y", 1.5)
+	var buf bytes.Buffer
+	if err := tab.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "**t**\n\n| a | b |\n| --- | --- |\n| x\\|y | 1.5000 |\n"
+	if got != want {
+		t.Fatalf("markdown mismatch:\n got %q\nwant %q", got, want)
+	}
+}

@@ -67,6 +67,39 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
+// RenderMarkdown writes the table as a GitHub-flavored markdown table,
+// title as a bold paragraph above it (for pasting into PR descriptions
+// and run reports).
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("**" + t.Title + "**\n\n")
+	}
+	escape := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		b.WriteString(" " + escape(c) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString(" --- |")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Columns {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			b.WriteString(" " + escape(cell) + " |")
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // RenderCSV writes the table as CSV (for plotting the figures externally).
 func (t *Table) RenderCSV(w io.Writer) error {
 	var b strings.Builder

@@ -185,6 +185,67 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ReadChrome parses a Chrome trace-event object ({"traceEvents":[...]})
+// back into its events — the inverse of WriteChrome, so recorded timelines
+// can be analyzed offline (internal/report).
+func ReadChrome(r io.Reader) ([]Event, error) {
+	var chrome struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&chrome); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if chrome.TraceEvents == nil {
+		return nil, fmt.Errorf("trace: object carries no traceEvents array (not a Chrome trace?)")
+	}
+	return chrome.TraceEvents, nil
+}
+
+// ReadEventsFile loads a trace file written by WriteFile: JSONL when the
+// extension is .jsonl, Chrome trace-event JSON otherwise.
+func ReadEventsFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	var evs []Event
+	if strings.EqualFold(filepath.Ext(path), ".jsonl") {
+		evs, err = ReadJSONL(f)
+	} else {
+		evs, err = ReadChrome(f)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", path, err)
+	}
+	return evs, nil
+}
+
+// ReadJSONL decodes one event per line, skipping blank lines — the inverse
+// of WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var evs []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		evs = append(evs, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return evs, nil
+}
+
 // WriteFile writes the trace to path: JSONL when the extension is
 // .jsonl, Chrome trace-event JSON otherwise.
 func (t *Tracer) WriteFile(path string) error {

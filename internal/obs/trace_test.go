@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -153,5 +154,58 @@ func TestTracerDeterministicBytes(t *testing.T) {
 	}
 	if !bytes.Equal(build(), build()) {
 		t.Fatal("identical event sequences must serialize to identical bytes")
+	}
+}
+
+// TestReadEventsFileRoundTrip: events written with WriteFile load back
+// identically through ReadEventsFile, in both formats. Args use float64
+// values because that is what encoding/json decodes numbers to.
+func TestReadEventsFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewVirtualTracer()
+	tr.SetTrackName(0, "aggregator")
+	tr.Span(1, "device", "compute", 0, 1.5, map[string]any{"round": 2.0})
+	tr.Span(0, "agg", "broadcast", 1.5, 2.0, map[string]any{"round": 2.0})
+	tr.Instant(0, "round", "commit", 2.0, map[string]any{"round": 2.0})
+	want := tr.Events()
+
+	for _, name := range []string{"out.trace.json", "out.jsonl"} {
+		path := filepath.Join(dir, name)
+		if err := tr.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEventsFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round trip mismatch:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestReadChromeRejectsNonTrace: an arbitrary JSON object is not a trace.
+func TestReadChromeRejectsNonTrace(t *testing.T) {
+	if _, err := ReadChrome(strings.NewReader(`{"foo": 1}`)); err == nil {
+		t.Fatal("non-trace object parsed")
+	}
+	if _, err := ReadChrome(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+// TestReadJSONLSkipsBlanksAndReportsLine: blank lines are tolerated, torn
+// lines are reported with their line number.
+func TestReadJSONLSkipsBlanksAndReportsLine(t *testing.T) {
+	evs, err := ReadJSONL(strings.NewReader("\n{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"pid\":1,\"tid\":1}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Name != "a" {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"name\":\"a\"}\n{torn")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("torn line not reported with its number: %v", err)
 	}
 }

@@ -1,0 +1,242 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"lumos/internal/obs"
+)
+
+// syncTrace hand-builds the timeline of one contended sync round exactly as
+// the simulator emits it: three devices compute and upload, serialize
+// through the aggregator, and the commit waits on the slowest chain plus
+// the model broadcast.
+//
+//	d2: compute 0-0.5   upload 0.5-0.9  agg-serve 0.9-1.4
+//	d0: compute 0-1.0   upload 1.0-1.5  agg-serve 1.5-2.0
+//	d1: compute 0-2.0   upload 2.0-2.6  agg-serve 2.6-3.2   <- critical
+//	broadcast 3.2-3.8, commit 3.8
+func syncTrace() *obs.Tracer {
+	tr := obs.NewVirtualTracer()
+	tr.SetTrackName(0, "aggregator")
+	type leg struct {
+		d              int
+		c0, c1, u1, s1 float64
+	}
+	for _, l := range []leg{
+		{d: 2, c0: 0, c1: 0.5, u1: 0.9, s1: 1.4},
+		{d: 0, c0: 0, c1: 1.0, u1: 1.5, s1: 2.0},
+		{d: 1, c0: 0, c1: 2.0, u1: 2.6, s1: 3.2},
+	} {
+		args := map[string]any{"round": 0}
+		tr.Span(l.d+1, "device", "compute", l.c0, l.c1, args)
+		tr.Span(l.d+1, "device", "upload", l.c1, l.u1, args)
+		tr.Span(l.d+1, "device", "agg-serve", l.u1, l.s1, args)
+	}
+	tr.Span(0, "agg", "broadcast", 3.2, 3.8, map[string]any{"round": 0, "participants": 3})
+	tr.Span(0, "round", "round", 0, 3.8, map[string]any{"round": 0, "participants": 3})
+	tr.Instant(0, "round", "commit", 3.8, map[string]any{"round": 0})
+	return tr
+}
+
+// samePath compares a computed critical path against the expected chain,
+// tolerating the sub-µs float residue of the seconds→µs→seconds timestamp
+// conversion.
+func samePath(t *testing.T, got, want []PathSpan) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("path mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Name != w.Name || g.Device != w.Device || g.To != w.To ||
+			math.Abs(g.Start-w.Start) > timeEps || math.Abs(g.End-w.End) > timeEps {
+			t.Fatalf("path hop %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+// TestCriticalPathSyncContended: the chain must be the slowest device's
+// compute → upload → agg-serve plus the broadcast, ending at the commit.
+func TestCriticalPathSyncContended(t *testing.T) {
+	an, err := AnalyzeTrace(syncTrace().Events(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Rounds) != 1 {
+		t.Fatalf("want 1 round, got %d", len(an.Rounds))
+	}
+	cp := an.Rounds[0]
+	if cp.Straggler != 1 {
+		t.Fatalf("blamed d%d, want d1", cp.Straggler)
+	}
+	want := []PathSpan{
+		{Name: "compute", Device: 1, Start: 0, End: 2.0, To: -1},
+		{Name: "upload", Device: 1, Start: 2.0, End: 2.6, To: -1},
+		{Name: "agg-serve", Device: 1, Start: 2.6, End: 3.2, To: -1},
+		{Name: "broadcast", Device: -1, Start: 3.2, End: 3.8, To: -1},
+	}
+	samePath(t, cp.Spans, want)
+	if math.Abs(cp.Spans[len(cp.Spans)-1].End-cp.Commit) > timeEps {
+		t.Fatalf("path ends at %v, commit %v", cp.Spans[len(cp.Spans)-1].End, cp.Commit)
+	}
+	if len(an.Blame) == 0 || an.Blame[0].Device != 1 || an.Blame[0].Rounds != 1 {
+		t.Fatalf("blame table wrong: %+v", an.Blame)
+	}
+}
+
+// TestCriticalPathSurvivesJSONRoundTrip: the analyzer must produce the
+// identical result from events loaded back off disk, where JSON turned
+// every int arg into a float64.
+func TestCriticalPathSurvivesJSONRoundTrip(t *testing.T) {
+	tr := syncTrace()
+	want, err := AnalyzeTrace(tr.Events(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := obs.ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeTrace(loaded, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("analysis changed across JSON round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCriticalPathAsyncQuorum: async rounds commit at the quorum arrival;
+// a lag-tolerated straggler whose upload lands after the commit must not
+// be blamed.
+func TestCriticalPathAsyncQuorum(t *testing.T) {
+	tr := obs.NewVirtualTracer()
+	r0 := map[string]any{"round": 0}
+	// d0 reaches the aggregator at 1.5 and commits the round; d1 is still
+	// uploading until 2.5, tolerated as staleness.
+	tr.Span(1, "device", "compute", 0, 1.0, r0)
+	tr.Span(1, "device", "upload", 1.0, 1.5, r0)
+	tr.Span(2, "device", "compute", 0, 2.0, r0)
+	tr.Span(2, "device", "upload", 2.0, 2.5, r0)
+	tr.Span(0, "round", "round", 0, 1.5, map[string]any{"round": 0, "participants": 2})
+	tr.Instant(0, "round", "commit", 1.5, map[string]any{"round": 0})
+	an, err := AnalyzeTrace(tr.Events(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := an.Rounds[0]
+	if cp.Straggler != 0 {
+		t.Fatalf("blamed d%d, want d0 (quorum closer)", cp.Straggler)
+	}
+	want := []PathSpan{
+		{Name: "compute", Device: 0, Start: 0, End: 1.0, To: -1},
+		{Name: "upload", Device: 0, Start: 1.0, End: 1.5, To: -1},
+	}
+	samePath(t, cp.Spans, want)
+}
+
+// TestCriticalPathGossipDelta: in a gossip round the commit can wait on a
+// neighbor's delta in flight; the chain then runs through the sender's
+// track and the sender takes the blame.
+func TestCriticalPathGossipDelta(t *testing.T) {
+	tr := obs.NewVirtualTracer()
+	r0 := map[string]any{"round": 0}
+	tr.Span(1, "device", "compute", 0, 1.0, r0)
+	tr.Span(1, "device", "gossip-delta", 1.0, 1.8, map[string]any{"round": 0, "to": 1})
+	tr.Span(2, "device", "compute", 0, 0.6, r0)
+	tr.Span(2, "device", "gossip-delta", 0.6, 0.9, map[string]any{"round": 0, "to": 0})
+	tr.Span(0, "round", "round", 0, 1.8, map[string]any{"round": 0, "participants": 2})
+	tr.Instant(0, "round", "commit", 1.8, map[string]any{"round": 0})
+	an, err := AnalyzeTrace(tr.Events(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := an.Rounds[0]
+	if cp.Straggler != 0 {
+		t.Fatalf("blamed d%d, want d0 (slow sender)", cp.Straggler)
+	}
+	want := []PathSpan{
+		{Name: "compute", Device: 0, Start: 0, End: 1.0, To: -1},
+		{Name: "gossip-delta", Device: 0, Start: 1.0, End: 1.8, To: 1},
+	}
+	samePath(t, cp.Spans, want)
+}
+
+// TestAnalyzeSkippedRound: a round with no participants has no one to
+// blame.
+func TestAnalyzeSkippedRound(t *testing.T) {
+	tr := obs.NewVirtualTracer()
+	tr.Span(0, "round", "round", 0, 0, map[string]any{"round": 0, "skipped": true})
+	an, err := AnalyzeTrace(tr.Events(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Rounds[0].Skipped || an.Rounds[0].Straggler != -1 {
+		t.Fatalf("skipped round misattributed: %+v", an.Rounds[0])
+	}
+	if len(an.Blame) != 0 {
+		t.Fatalf("blame table not empty: %+v", an.Blame)
+	}
+}
+
+// TestAnalyzeUtilization: busy/queue/idle fractions partition each
+// device's share of the trace span.
+func TestAnalyzeUtilization(t *testing.T) {
+	an, err := AnalyzeTrace(syncTrace().Events(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Span-3.8) > timeEps {
+		t.Fatalf("span %v, want 3.8", an.Span)
+	}
+	if len(an.Devices) != 3 {
+		t.Fatalf("want 3 devices, got %d", len(an.Devices))
+	}
+	// d1: busy 2.6 (compute 2.0 + upload 0.6), queue 0.6, idle 0.6.
+	d1 := an.Devices[1]
+	if math.Abs(d1.Busy-2.6) > timeEps || math.Abs(d1.QueueWait-0.6) > timeEps || math.Abs(d1.Idle-0.6) > timeEps {
+		t.Fatalf("d1 usage wrong: %+v", d1)
+	}
+	for _, d := range an.Devices {
+		if math.Abs(d.BusyFrac+d.QueueFrac+d.IdleFrac-1) > 1e-9 {
+			t.Fatalf("fractions don't partition: %+v", d)
+		}
+	}
+}
+
+// TestAnalyzeRejectsNonSimTrace: a trace without round spans is not a
+// simulator timeline.
+func TestAnalyzeRejectsNonSimTrace(t *testing.T) {
+	tr := obs.NewVirtualTracer()
+	tr.Span(1, "device", "compute", 0, 1, map[string]any{"round": 0})
+	if _, err := AnalyzeTrace(tr.Events(), 10); err == nil {
+		t.Fatal("round-less trace analyzed")
+	}
+}
+
+// TestTopKTruncatesBlame: the blame table honors k.
+func TestTopKTruncatesBlame(t *testing.T) {
+	tr := obs.NewVirtualTracer()
+	// Three rounds, each bounded by a different device.
+	for r, d := range []int{0, 1, 2} {
+		start := float64(r) * 2
+		args := map[string]any{"round": r}
+		tr.Span(d+1, "device", "compute", start, start+1, args)
+		tr.Span(d+1, "device", "upload", start+1, start+2, args)
+		tr.Span(0, "round", "round", start, start+2, args)
+	}
+	an, err := AnalyzeTrace(tr.Events(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Blame) != 2 {
+		t.Fatalf("top-2 blame has %d rows", len(an.Blame))
+	}
+}

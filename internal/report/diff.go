@@ -1,0 +1,139 @@
+package report
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiffOptions sets the regression thresholds Diff enforces. The zero
+// value is NOT useful — call DefaultDiffOptions for the CI defaults.
+type DiffOptions struct {
+	// MetricTol is the absolute drop in final metric tolerated before the
+	// diff counts as a regression (metric is assumed higher-better unless
+	// LowerMetricBetter).
+	MetricTol float64
+	// WallTol, BytesTol, EnergyTol are the relative growth fractions
+	// tolerated for wall-clock, total bytes, and total energy (0.10 =
+	// +10% allowed).
+	WallTol   float64
+	BytesTol  float64
+	EnergyTol float64
+	// LowerMetricBetter flips the metric direction (loss-like metrics).
+	LowerMetricBetter bool
+}
+
+// DefaultDiffOptions are the CI-gate thresholds: metric may drop at most
+// 0.005 absolute; wall-clock, bytes, and energy may each grow at most
+// 10%.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{MetricTol: 0.005, WallTol: 0.10, BytesTol: 0.10, EnergyTol: 0.10}
+}
+
+// Delta is one compared summary quantity: baseline A, candidate B, the
+// absolute and relative change, and whether the change breaches its
+// threshold.
+type Delta struct {
+	Name      string  `json:"name"`
+	A         float64 `json:"a"`
+	B         float64 `json:"b"`
+	Abs       float64 `json:"abs"`
+	Rel       float64 `json:"rel"`
+	Regressed bool    `json:"regressed,omitempty"`
+}
+
+// RoundDelta compares one round present in both records.
+type RoundDelta struct {
+	Round       int     `json:"round"`
+	CommitDelta float64 `json:"commit_delta"`
+	LossDelta   float64 `json:"loss_delta"`
+	BytesDelta  int64   `json:"bytes_delta"`
+}
+
+// DiffResult is the comparison of two run records: summary deltas,
+// per-round deltas over the common round prefix, and the list of
+// threshold breaches (empty = the candidate passes the gate).
+type DiffResult struct {
+	Deltas []Delta      `json:"deltas"`
+	Rounds []RoundDelta `json:"rounds,omitempty"`
+	// RoundCountA/B record differing round counts (a truncated candidate
+	// is worth seeing even when its prefix matches).
+	RoundCountA int `json:"round_count_a"`
+	RoundCountB int `json:"round_count_b"`
+	// Regressions are human-readable breach descriptions; non-empty means
+	// the candidate failed the gate.
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// Regressed reports whether any threshold was breached.
+func (d *DiffResult) Regressed() bool { return len(d.Regressions) > 0 }
+
+// rel computes b's relative change over a, treating a zero baseline as
+// no-change when b is also zero and full growth otherwise.
+func rel(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (b - a) / a
+}
+
+// Diff compares candidate b against baseline a under opt's thresholds.
+// Summary quantities come from the manifests; per-round deltas pair rows
+// by index over the common prefix.
+func Diff(a, b *RunRecord, opt DiffOptions) *DiffResult {
+	res := &DiffResult{
+		RoundCountA: len(a.Rounds),
+		RoundCountB: len(b.Rounds),
+	}
+	am, bm := a.Manifest, b.Manifest
+
+	metric := Delta{Name: "final_metric", A: am.FinalMetric, B: bm.FinalMetric,
+		Abs: bm.FinalMetric - am.FinalMetric, Rel: rel(am.FinalMetric, bm.FinalMetric)}
+	drop := -metric.Abs
+	if opt.LowerMetricBetter {
+		drop = metric.Abs
+	}
+	if drop > opt.MetricTol {
+		metric.Regressed = true
+		res.Regressions = append(res.Regressions,
+			fmt.Sprintf("final_metric %s dropped %.4f (%.4f -> %.4f, tolerance %.4f)",
+				am.MetricName, drop, am.FinalMetric, bm.FinalMetric, opt.MetricTol))
+	}
+	res.Deltas = append(res.Deltas, metric)
+
+	for _, q := range []struct {
+		name string
+		a, b float64
+		tol  float64
+	}{
+		{"wall_clock", am.WallClock, bm.WallClock, opt.WallTol},
+		{"total_bytes", float64(am.TotalBytes), float64(bm.TotalBytes), opt.BytesTol},
+		{"total_energy", am.TotalEnergy, bm.TotalEnergy, opt.EnergyTol},
+	} {
+		d := Delta{Name: q.name, A: q.a, B: q.b, Abs: q.b - q.a, Rel: rel(q.a, q.b)}
+		if d.Rel > q.tol {
+			d.Regressed = true
+			res.Regressions = append(res.Regressions,
+				fmt.Sprintf("%s grew %.1f%% (%.4g -> %.4g, tolerance %.0f%%)",
+					q.name, d.Rel*100, q.a, q.b, q.tol*100))
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+
+	n := len(a.Rounds)
+	if len(b.Rounds) < n {
+		n = len(b.Rounds)
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		res.Rounds = append(res.Rounds, RoundDelta{
+			Round:       ra.Round,
+			CommitDelta: rb.Commit - ra.Commit,
+			LossDelta:   rb.Loss - ra.Loss,
+			BytesDelta:  rb.Bytes - ra.Bytes,
+		})
+	}
+	return res
+}

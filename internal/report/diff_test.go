@@ -1,0 +1,99 @@
+package report
+
+import (
+	"testing"
+)
+
+// TestDiffSelfIsClean: a record diffed against itself has zero deltas and
+// no regressions — the identity the CI gate stands on.
+func TestDiffSelfIsClean(t *testing.T) {
+	rec := sampleRecord()
+	res := Diff(rec, rec, DefaultDiffOptions())
+	if res.Regressed() {
+		t.Fatalf("self-diff regressed: %v", res.Regressions)
+	}
+	for _, d := range res.Deltas {
+		if d.Abs != 0 || d.Rel != 0 || d.Regressed {
+			t.Fatalf("self-diff has nonzero delta: %+v", d)
+		}
+	}
+	for _, r := range res.Rounds {
+		if r.CommitDelta != 0 || r.LossDelta != 0 || r.BytesDelta != 0 {
+			t.Fatalf("self-diff has nonzero round delta: %+v", r)
+		}
+	}
+	if res.RoundCountA != res.RoundCountB {
+		t.Fatalf("round counts differ on self-diff: %d vs %d", res.RoundCountA, res.RoundCountB)
+	}
+}
+
+// TestDiffCatchesRegression: a doctored candidate — dropped final metric
+// plus inflated wall-clock — breaches both thresholds.
+func TestDiffCatchesRegression(t *testing.T) {
+	base := sampleRecord()
+	cand := sampleRecord()
+	cand.Manifest.FinalMetric -= 0.05 // > 0.005 tolerated drop
+	cand.Manifest.WallClock *= 1.5    // > 10% tolerated growth
+	res := Diff(base, cand, DefaultDiffOptions())
+	if !res.Regressed() {
+		t.Fatal("doctored candidate passed the gate")
+	}
+	if len(res.Regressions) != 2 {
+		t.Fatalf("want 2 regressions (metric, wall-clock), got %v", res.Regressions)
+	}
+}
+
+// TestDiffWithinTolerancePasses: movement inside the thresholds is noise,
+// not a regression.
+func TestDiffWithinTolerancePasses(t *testing.T) {
+	base := sampleRecord()
+	cand := sampleRecord()
+	cand.Manifest.FinalMetric -= 0.004
+	cand.Manifest.WallClock *= 1.05
+	cand.Manifest.TotalBytes += cand.Manifest.TotalBytes / 20
+	res := Diff(base, cand, DefaultDiffOptions())
+	if res.Regressed() {
+		t.Fatalf("in-tolerance candidate regressed: %v", res.Regressions)
+	}
+}
+
+// TestDiffMetricImprovementPasses: a better metric is never a regression,
+// in either direction convention.
+func TestDiffMetricImprovementPasses(t *testing.T) {
+	base := sampleRecord()
+	cand := sampleRecord()
+	cand.Manifest.FinalMetric += 0.1
+	if res := Diff(base, cand, DefaultDiffOptions()); res.Regressed() {
+		t.Fatalf("higher metric regressed: %v", res.Regressions)
+	}
+	opt := DefaultDiffOptions()
+	opt.LowerMetricBetter = true
+	cand.Manifest.FinalMetric = base.Manifest.FinalMetric - 0.1
+	if res := Diff(base, cand, opt); res.Regressed() {
+		t.Fatalf("lower loss-like metric regressed: %v", res.Regressions)
+	}
+	// And the same move flips to a regression under the opposite
+	// convention.
+	if res := Diff(base, cand, DefaultDiffOptions()); !res.Regressed() {
+		t.Fatal("metric drop passed under higher-is-better")
+	}
+}
+
+// TestDiffPerRoundDeltas: round rows pair by index over the common prefix
+// and differing counts are reported.
+func TestDiffPerRoundDeltas(t *testing.T) {
+	base := sampleRecord()
+	cand := sampleRecord()
+	cand.Rounds[1].Commit += 0.5
+	cand.Rounds = cand.Rounds[:2]
+	res := Diff(base, cand, DefaultDiffOptions())
+	if len(res.Rounds) != 2 {
+		t.Fatalf("want 2 paired rounds, got %d", len(res.Rounds))
+	}
+	if res.Rounds[1].CommitDelta != 0.5 {
+		t.Fatalf("commit delta %v, want 0.5", res.Rounds[1].CommitDelta)
+	}
+	if res.RoundCountA != 3 || res.RoundCountB != 2 {
+		t.Fatalf("round counts %d/%d, want 3/2", res.RoundCountA, res.RoundCountB)
+	}
+}

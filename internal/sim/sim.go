@@ -135,6 +135,11 @@ type Scenario struct {
 	// (rounds, wire bytes, per-round and cumulative energy, aggregator
 	// queueing delay). Nil — the default — is free.
 	Metrics *obs.Registry
+	// RoundObserver, when non-nil, receives every finished round's stats as
+	// it commits (idle rounds included) — the streaming hook run recording
+	// (internal/report) attaches to. Nil — the default — is free. Called
+	// from the single-threaded Run loop, in round order.
+	RoundObserver func(RoundStats)
 	// Seed drives every random choice in the scenario (fleet ranks, churn,
 	// sampling). Independent from the system's training seed.
 	Seed int64

@@ -202,6 +202,9 @@ func New(sys *core.System, sc Scenario) (*Simulator, error) {
 // trace timeline. Called once per round, for committed and idle rounds
 // alike.
 func (s *Simulator) recordRound(rs *RoundStats) {
+	if s.sc.RoundObserver != nil {
+		s.sc.RoundObserver(*rs)
+	}
 	s.mRounds.Inc()
 	if rs.Skipped {
 		s.mSkipped.Inc()

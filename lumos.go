@@ -264,8 +264,37 @@
 // simulator traces on its virtual clock (NewVirtualEventTracer via
 // SimScenario.Tracer), and the two never mix in one file. Surfaces:
 // lumos-serve GET /metrics (plus -log request logging and -pprof),
-// lumos-sim/lumos-train -trace and -metrics, and lumos-bench -serve embeds
-// the replica's final scrape in BENCH_serve.json.
+// lumos-sim/lumos-train -trace, -metrics, and -metrics-out, and
+// lumos-bench -serve embeds the replica's final scrape in BENCH_serve.json.
+//
+// # Run records and reports (internal/report)
+//
+// The write-only telemetry above gets its analysis half in internal/report:
+// recorded, diffable run artifacts plus trace analytics. Passing
+// -run-out <dir> to lumos-sim or lumos-train records the run as a
+// directory — manifest.json (the full CLI args, seed, fleet, topology,
+// kernel path, go version, and GOMAXPROCS needed to reproduce it, plus the
+// final metric/wall-clock/bytes/energy summary), rounds.jsonl (one row per
+// committed round, streamed as rounds commit via SimScenario.RoundObserver
+// so a killed run keeps its prefix), and metrics.prom (the final Prometheus
+// scrape). WriteRunRecord and LoadRunRecord are the programmatic read/write
+// pair (a RunRecord round-trips losslessly; a truncated rounds.jsonl tail
+// loads with a warning), and AnalyzeTrace turns a simulator trace — live
+// events or a file loaded back with ReadTraceEvents — into per-round
+// CriticalPath chains (device-compute → upload → agg-queue, or per-link
+// gossip delta, ending at the round's commit), per-device
+// utilization/idle/queue-wait fractions, and a top-k straggler-blame table,
+// for sync, async, and gossip schedules alike.
+//
+// The lumos-report CLI is the human surface: `lumos-report run <dir>`
+// renders a record as tables (or markdown with -md), `lumos-report trace
+// <file> -critical-path` analyzes a trace standalone, and `lumos-report
+// diff <baseline> <candidate>` compares two records under configurable
+// thresholds and exits nonzero on regression — a CI-able A/B gate
+// (scripts/ci.sh runs a record → report → self-diff round trip, and the
+// perf PRs' A/B comparisons build on it). Disabled recording is free: no
+// -run-out means a nil observer, and the goldens plus the allocation
+// budget pin that path.
 package lumos
 
 import (
@@ -277,6 +306,7 @@ import (
 	"lumos/internal/graph"
 	"lumos/internal/nn"
 	"lumos/internal/obs"
+	"lumos/internal/report"
 	"lumos/internal/serve"
 	"lumos/internal/sim"
 	"lumos/internal/snapshot"
@@ -614,6 +644,8 @@ type (
 	// MetricsHistogram is one fixed-bucket histogram instrument; exported so
 	// embedders can attach their own (e.g. fleet.Server.Wait).
 	MetricsHistogram = obs.Histogram
+	// TraceEvent is one recorded trace event in Chrome trace-event shape.
+	TraceEvent = obs.Event
 )
 
 // NewMetricsRegistry builds an empty metrics registry.
@@ -632,6 +664,51 @@ func NewVirtualEventTracer() *EventTracer { return obs.NewVirtualTracer() }
 // name→value map — the scrape side of MetricsRegistry.WritePrometheus.
 func ParsePrometheus(text string) (map[string]float64, error) {
 	return obs.ParsePrometheus(text)
+}
+
+// Run records and reports (see the package documentation).
+type (
+	// RunRecord is a fully loaded run-record directory: manifest, per-round
+	// rows, and the final metrics scrape.
+	RunRecord = report.RunRecord
+	// RunManifest identifies and summarizes a recorded run — the arguments,
+	// seed, and environment needed to reproduce it plus the headline
+	// results.
+	RunManifest = report.Manifest
+	// RunRoundRow is one committed round's recorded statistics.
+	RunRoundRow = report.RoundRow
+	// TraceAnalysis is the analyzer's verdict on a simulator trace:
+	// per-round critical paths, per-device utilization, and the
+	// straggler-blame table.
+	TraceAnalysis = report.TraceAnalysis
+	// CriticalPath is the chain of spans one round's commit waited on.
+	CriticalPath = report.CriticalPath
+)
+
+// WriteRunRecord writes a complete run record to dir in one shot —
+// the non-streaming counterpart of lumos-sim/lumos-train -run-out.
+func WriteRunRecord(dir string, rec *RunRecord) error {
+	return report.WriteRunRecord(dir, rec)
+}
+
+// LoadRunRecord reads a run-record directory back. A truncated final
+// rounds.jsonl row (a killed run) is dropped with a warning rather than an
+// error; warnings list everything tolerated.
+func LoadRunRecord(dir string) (*RunRecord, []string, error) {
+	return report.LoadRunRecord(dir)
+}
+
+// AnalyzeTrace computes critical paths, device utilization, and the top-k
+// straggler-blame table from a simulator trace's events (live from an
+// EventTracer or loaded back with ReadTraceEvents).
+func AnalyzeTrace(events []TraceEvent, topK int) (*TraceAnalysis, error) {
+	return report.AnalyzeTrace(events, topK)
+}
+
+// ReadTraceEvents loads trace events back from a file written by
+// EventTracer.WriteFile, auto-detecting Chrome JSON vs JSONL by extension.
+func ReadTraceEvents(path string) ([]TraceEvent, error) {
+	return obs.ReadEventsFile(path)
 }
 
 // Experiment harness (one runner per paper figure).

@@ -56,9 +56,18 @@ func main() {
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	failed := false
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
+		// A failing bench run prints FAIL (and --- FAIL: per test); refuse
+		// to write a report from it so a broken `make bench` can't commit
+		// an empty or stale artifact.
+		if trimmed := strings.TrimSpace(line); trimmed == "FAIL" ||
+			strings.HasPrefix(trimmed, "FAIL\t") || strings.HasPrefix(trimmed, "FAIL ") ||
+			strings.HasPrefix(trimmed, "--- FAIL") {
+			failed = true
+		}
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
 			rep.CPU = strings.TrimSpace(cpu)
 			continue
@@ -69,6 +78,9 @@ func main() {
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("reading stdin: %v", err)
+	}
+	if failed {
+		fatalf("bench stream contains a FAIL line; refusing to write %s", *out)
 	}
 	if len(rep.Benchmarks) == 0 {
 		fatalf("no benchmark lines found on stdin (did the bench run fail?)")

@@ -144,4 +144,79 @@ for gate in \
 	fi
 done
 
+# Report gates: the analyzer/diff/record unit suites by name (critical-path
+# attribution under the race detector, the e2e straggler-blame acceptance
+# check, the diff identity and doctored-regression tests, and the
+# record round trip), plus the lumos-report smoke rows, plus a live CLI
+# round trip — record a tiny run, render it, self-diff (must exit 0), then
+# doctor the copy's final metric and wall-clock and require a nonzero exit.
+report_out=$(go test -race -run 'TestCriticalPath|TestAnalyze|TestE2EStragglerBlameMatchesSlowestDevice|TestDiffSelfIsClean|TestDiffCatchesRegression|TestRunRecordRoundTrip|TestLoadTruncatedTail' -count=1 -v ./internal/report)
+rsmoke_out=$(go test -run 'TestEntryPointsBuildAndRun/lumos-report-(run|diff|trace)' -count=1 -v .)
+for gate in \
+	"TestCriticalPathSyncContended:$report_out" \
+	"TestCriticalPathAsyncQuorum:$report_out" \
+	"TestCriticalPathGossipDelta:$report_out" \
+	"TestAnalyzeUtilization:$report_out" \
+	"TestE2EStragglerBlameMatchesSlowestDevice:$report_out" \
+	"TestDiffSelfIsClean:$report_out" \
+	"TestDiffCatchesRegression:$report_out" \
+	"TestRunRecordRoundTrip:$report_out" \
+	"TestLoadTruncatedTail:$report_out" \
+	"TestEntryPointsBuildAndRun/lumos-report-run:$rsmoke_out" \
+	"TestEntryPointsBuildAndRun/lumos-report-diff:$rsmoke_out" \
+	"TestEntryPointsBuildAndRun/lumos-report-trace:$rsmoke_out"; do
+	name=${gate%%:*}
+	out=${gate#*:}
+	if ! grep -q -- "--- PASS: $name" <<<"$out"; then
+		echo "report gate $name did not pass:" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+done
+
+recdir=$(mktemp -d)
+trap 'rm -rf "$recdir"' EXIT
+go run ./cmd/lumos-sim -dataset facebook -scale 0.005 -rounds 3 -mcmc 10 \
+	-fleet zipf -run-out "$recdir/base" >/dev/null
+go run ./cmd/lumos-report run "$recdir/base" >/dev/null
+go run ./cmd/lumos-report diff "$recdir/base" "$recdir/base" >/dev/null
+cp -r "$recdir/base" "$recdir/doctored"
+# Perturb the doctored record past both the metric and wall-clock
+# thresholds; the diff gate must refuse it.
+mkdir -p "$recdir/doctor"
+cat >"$recdir/doctor/main.go" <<'EOF'
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+func main() {
+	path := os.Args[1]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		panic(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		panic(err)
+	}
+	m["final_metric"] = m["final_metric"].(float64) - 0.5
+	m["wall_clock"] = m["wall_clock"].(float64) * 2
+	out, err := json.Marshal(m)
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		panic(err)
+	}
+}
+EOF
+go run "$recdir/doctor/main.go" "$recdir/doctored/manifest.json"
+if go run ./cmd/lumos-report diff "$recdir/base" "$recdir/doctored" >/dev/null 2>&1; then
+	echo "report gate: doctored record passed the diff gate" >&2
+	exit 1
+fi
+
 go test -race -short ./internal/... ./...

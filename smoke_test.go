@@ -58,6 +58,25 @@ var entryPoints = []struct {
 	{pkg: "./cmd/lumos-sim", name: "lumos-sim-telemetry", run: true, args: []string{
 		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
 		"-trace", "{TMP}/sim.trace.json", "-metrics"}},
+	// Run recording under -sched both: -run-out and -metrics-out must land in
+	// per-mode suffixed paths (recboth.sync/, recboth.async/, ...prom) just
+	// like -trace does.
+	{pkg: "./cmd/lumos-sim", name: "lumos-sim-runrecord", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
+		"-sched", "both", "-run-out", "{TMP}/recboth", "-metrics-out", "{TMP}/simboth.prom"}},
+	// The same recording surface on the epoch trainer.
+	{pkg: "./cmd/lumos-train", name: "lumos-train-runrecord", run: true, args: []string{
+		"-dataset", "facebook", "-scale", "0.005", "-epochs", "2", "-mcmc", "10",
+		"-run-out", "{TMP}/rectrain", "-metrics-out", "{TMP}/train.prom"}},
+	// lumos-report consumes the record and trace the pre-parallel seeding run
+	// writes: render it, self-diff it (must exit 0 — the A/B gate identity),
+	// and walk the trace's critical paths.
+	{pkg: "./cmd/lumos-report", name: "lumos-report-run", run: true, args: []string{
+		"run", "{TMP}/seedrec"}},
+	{pkg: "./cmd/lumos-report", name: "lumos-report-diff", run: true, args: []string{
+		"diff", "{TMP}/seedrec", "{TMP}/seedrec"}},
+	{pkg: "./cmd/lumos-report", name: "lumos-report-trace", run: true, args: []string{
+		"trace", "{TMP}/seedrec.trace.json", "-critical-path", "-top", "5"}},
 	// lumos-train runs at tiny scale with the fresh-tape-per-epoch escape
 	// hatch so the -notapereuse path cannot rot.
 	{pkg: "./cmd/lumos-train", run: true, args: []string{
@@ -115,6 +134,19 @@ func TestEntryPointsBuildAndRun(t *testing.T) {
 	}
 	if out, err := exec.Command(seedGen, "-traces", "-devices", "24", "-seed", "3", "-out", tracePath).CombinedOutput(); err != nil {
 		t.Fatalf("lumos-datagen -traces: %v\n%s", err, out)
+	}
+
+	// Seed the lumos-report rows: one tiny recorded-and-traced sim run whose
+	// artifacts the report rows render, self-diff, and analyze.
+	seedSim := filepath.Join(binDir, "report-seed-sim")
+	if out, err := exec.Command(goBin, "build", "-o", seedSim, "./cmd/lumos-sim").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/lumos-sim: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(seedSim,
+		"-dataset", "facebook", "-scale", "0.005", "-rounds", "3", "-mcmc", "10",
+		"-fleet", "zipf", "-run-out", filepath.Join(binDir, "seedrec"),
+		"-trace", filepath.Join(binDir, "seedrec.trace.json")).CombinedOutput(); err != nil {
+		t.Fatalf("lumos-sim -run-out seed: %v\n%s", err, out)
 	}
 
 	for _, ep := range entryPoints {
